@@ -1,0 +1,108 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestLoadAndQueryCommands(t *testing.T) {
+	dir := t.TempDir()
+	csvPath := filepath.Join(dir, "clicks.csv")
+	snapPath := filepath.Join(dir, "wh.snapshot")
+
+	csvData := strings.Join([]string{
+		"day,url,dwell,delivery,size_kb", // header row is tolerated
+		"2000/1/5,http://www.alpha.com/a,100,2,30",
+		"2000/1/5,http://www.alpha.com/b,200,3,40",
+		"2000/2/10,http://www.beta.org/x,300,1,20",
+		"2000/6/1,http://www.alpha.com/a,50,1,10",
+	}, "\n") + "\n"
+	if err := os.WriteFile(csvPath, []byte(csvData), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	out := captureStdout(t, func() error {
+		return runLoad([]string{"-csv", csvPath, "-out", snapPath, "-now", "2000/12/1"})
+	})
+	if !strings.Contains(out, "loaded 4 clicks") {
+		t.Errorf("load output:\n%s", out)
+	}
+	if _, err := os.Stat(snapPath); err != nil {
+		t.Fatal(err)
+	}
+
+	// Grand total through the snapshot.
+	out = captureStdout(t, func() error {
+		return runQuery([]string{"-snapshot", snapPath, `aggregate [Time.TOP, URL.TOP]`})
+	})
+	if !strings.Contains(out, "Number_of=4") || !strings.Contains(out, "Dwell_time=650") {
+		t.Errorf("query output:\n%s", out)
+	}
+
+	// Monthly per-group view; the default policy has aggregated months
+	// older than 3 months to (month, domain).
+	out = captureStdout(t, func() error {
+		return runQuery([]string{"-snapshot", snapPath, "-at", "2000/12/1",
+			`aggregate [Time.month, URL.domain_grp] where Time.month <= 2000/2`})
+	})
+	if !strings.Contains(out, "2000/1, .com") || !strings.Contains(out, "2000/2, .org") {
+		t.Errorf("filtered query output:\n%s", out)
+	}
+
+	// Errors.
+	if err := runLoad([]string{"-csv", filepath.Join(dir, "missing.csv")}); err == nil {
+		t.Error("missing csv accepted")
+	}
+	if err := runLoad(nil); err == nil {
+		t.Error("missing -csv flag accepted")
+	}
+	if err := runQuery([]string{"-snapshot", filepath.Join(dir, "missing.snapshot"), "aggregate [Time.TOP, URL.TOP]"}); err == nil {
+		t.Error("missing snapshot accepted")
+	}
+	if err := runQuery([]string{"-snapshot", snapPath}); err == nil {
+		t.Error("missing query accepted")
+	}
+	if err := runQuery([]string{"-snapshot", snapPath, "-at", "garbage", "aggregate [Time.TOP, URL.TOP]"}); err == nil {
+		t.Error("bad -at accepted")
+	}
+
+	// Malformed data row (not a header).
+	bad := filepath.Join(dir, "bad.csv")
+	if err := os.WriteFile(bad, []byte("2000/1/5,u,notanumber,1,1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := runLoad([]string{"-csv", bad, "-out", filepath.Join(dir, "x.snapshot")}); err == nil {
+		t.Error("malformed dwell accepted")
+	}
+}
+
+func TestExplainCommand(t *testing.T) {
+	dir := t.TempDir()
+	csvPath := filepath.Join(dir, "clicks.csv")
+	snapPath := filepath.Join(dir, "wh.snapshot")
+	csvData := "2000/1/5,http://www.alpha.com/a,100,2,30\n"
+	if err := os.WriteFile(csvPath, []byte(csvData), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := runLoad([]string{"-csv", csvPath, "-out", snapPath, "-now", "2000/12/1"}); err != nil {
+		t.Fatal(err)
+	}
+	out := captureStdout(t, func() error {
+		return runExplain([]string{"-snapshot", snapPath, "-day", "2000/1/5", "-url", "http://www.alpha.com/a"})
+	})
+	if !strings.Contains(out, "by action") && !strings.Contains(out, "own granularity") {
+		t.Errorf("explain output:\n%s", out)
+	}
+	// Errors.
+	if err := runExplain([]string{"-snapshot", snapPath}); err == nil {
+		t.Error("missing flags accepted")
+	}
+	if err := runExplain([]string{"-snapshot", snapPath, "-day", "1990/1/1", "-url", "x"}); err == nil {
+		t.Error("unknown day accepted")
+	}
+	if err := runExplain([]string{"-snapshot", snapPath, "-day", "2000/1/5", "-url", "http://nope/"}); err == nil {
+		t.Error("unknown url accepted")
+	}
+}

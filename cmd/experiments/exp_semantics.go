@@ -1,0 +1,247 @@
+package main
+
+import (
+	"fmt"
+	"io"
+
+	"dimred/internal/caltime"
+	"dimred/internal/core"
+	"dimred/internal/dims"
+	"dimred/internal/mdm"
+	"dimred/internal/relstore"
+	"dimred/internal/spec"
+)
+
+// Concrete-syntax forms of the running example's actions (the TR's prose
+// writes a1's upper bound with "<"; its worked figures treat it
+// inclusively, so "<=" reproduces them — see EXPERIMENTS.md).
+const (
+	srcA1 = `aggregate [Time.month, URL.domain] where URL.domain_grp = ".com" and NOW - 12 months < Time.month and Time.month <= NOW - 6 months`
+	srcA2 = `aggregate [Time.quarter, URL.domain] where URL.domain_grp = ".com" and Time.quarter <= NOW - 4 quarters`
+	srcA3 = `aggregate [Time.week, URL.domain] where URL.domain = "gatech.edu" and Time.week <= NOW - 36 weeks`
+	srcA7 = `aggregate [Time.month, URL.domain] where Time.month <= NOW - 12 months`
+	srcA8 = `aggregate [Time.month, URL.domain] where Time.month <= 1999/12`
+)
+
+func paperSetup() (*dims.PaperObject, *spec.Env, error) {
+	p, err := dims.PaperMO()
+	if err != nil {
+		return nil, nil, err
+	}
+	env, err := spec.NewEnv(p.Schema, "Time", p.Time)
+	if err != nil {
+		return nil, nil, err
+	}
+	return p, env, nil
+}
+
+func paperSpec12() (*dims.PaperObject, *spec.Spec, error) {
+	p, env, err := paperSetup()
+	if err != nil {
+		return nil, nil, err
+	}
+	a1, err := spec.CompileString("a1", srcA1, env)
+	if err != nil {
+		return nil, nil, err
+	}
+	a2, err := spec.CompileString("a2", srcA2, env)
+	if err != nil {
+		return nil, nil, err
+	}
+	s, err := spec.New(env, a1, a2)
+	if err != nil {
+		return nil, nil, err
+	}
+	return p, s, nil
+}
+
+func day(s string) caltime.Day {
+	d, err := caltime.ParseDay(s)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+func runE01(w io.Writer) error {
+	p, _, err := paperSetup()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "Appendix A, Table 2, materialized as a star schema:")
+	star, err := relstore.BuildStar(p.MO)
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(w, star.FormatAll())
+	fmt.Fprintf(w, "Figure 1 fact signature: %s with measures", p.Schema.FactType)
+	for _, m := range p.Schema.Measures {
+		fmt.Fprintf(w, " %s(%s)", m.Name, m.Agg)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "Time hierarchy linear: %v (parallel week/month branches)\n", p.Time.Linear())
+	fmt.Fprintf(w, "URL hierarchy linear:  %v\n", p.URL.Linear())
+	return nil
+}
+
+func runE02(w io.Writer) error {
+	_, env, err := paperSetup()
+	if err != nil {
+		return err
+	}
+	a1, err := spec.CompileString("a1", srcA1, env)
+	if err != nil {
+		return err
+	}
+	a2, err := spec.CompileString("a2", srcA2, env)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%s\n%s\n", a1, a2)
+	fmt.Fprintf(w, "Cat(a1) = %s, Cat(a2) = %s\n", a1.DescribeTargets(), a2.DescribeTargets())
+	fmt.Fprintf(w, "a1 <=_V a2: %v (paper: true);  a2 <=_V a1: %v (paper: false)\n",
+		spec.LessEq(a1, a2), spec.LessEq(a2, a1))
+	// A third action aggregating to (week, url) would make the order
+	// partial; (week, url) vs (month, domain) are incomparable.
+	a3, err := spec.CompileString("aw", `aggregate [Time.week, URL.url] where URL.url = "x" and Time.week <= 1999W48`, env)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "with a (week, url) action the order is partial: a1<=aw %v, aw<=a1 %v\n",
+		spec.LessEq(a1, a3), spec.LessEq(a3, a1))
+	return nil
+}
+
+func runE03(w io.Writer) error {
+	p, s, err := paperSpec12()
+	if err != nil {
+		return err
+	}
+	t := day("2000/11/5")
+	f1 := p.Facts[1]
+	a2, _ := s.ActionByName("a2")
+	fmt.Fprintf(w, "at %s (paper Section 4.2):\n", t)
+	fmt.Fprintf(w, "Cat_Time(a2) = Time.%s, Cat(a2) = %s\n",
+		p.Time.Category(a2.TargetIn(0)).Name, a2.DescribeTargets())
+	fmt.Fprintf(w, "Gran(fact_1) = %s (paper: (Time.day, URL.url))\n", p.Schema.GranString(p.MO.Gran(f1)))
+	fmt.Fprint(w, "Spec_gran(fact_1) = {")
+	for i, g := range core.SpecGran(s, p.MO, f1, t) {
+		if i > 0 {
+			fmt.Fprint(w, ", ")
+		}
+		fmt.Fprint(w, p.Schema.GranString(g))
+	}
+	fmt.Fprintln(w, "}")
+	cell, gran, resp, err := core.Cell(s, p.MO, f1, t)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "Cell(fact_1) = (%s, %s) at %s (paper: (1999Q4, cnn.com))\n",
+		p.Time.ValueName(cell[0]), p.URL.ValueName(cell[1]), p.Schema.GranString(gran))
+	for i, r := range resp {
+		if r != nil {
+			fmt.Fprintf(w, "responsible for dimension %s: %s\n", p.Schema.Dims[i].Name(), r.Name())
+		}
+	}
+	return nil
+}
+
+func runE04(w io.Writer) error {
+	_, env, err := paperSetup()
+	if err != nil {
+		return err
+	}
+	// The paper's literal a3/a4 violate the Section 4.1 Clist convention
+	// and are rejected at compile time.
+	if _, err := spec.CompileString("a3-literal",
+		`aggregate [Time.month, URL.domain_grp] where URL.url = "http://www.cnn.com/health" and Time.month <= 1999/12`, env); err != nil {
+		fmt.Fprintf(w, "paper's a3 (Eq. 15) rejected at compile time:\n  %v\n", err)
+	}
+	if _, err := spec.CompileString("a4-literal",
+		`aggregate [Time.week, URL.url] where URL.url = "http://www.cnn.com/health" and Time.month <= 1999/12`, env); err != nil {
+		fmt.Fprintf(w, "paper's a4 (Eq. 16) rejected at compile time:\n  %v\n", err)
+	}
+	// Rule-conforming crossing pairs are caught by the NonCrossing check.
+	a2, err := spec.CompileString("a2", srcA2, env)
+	if err != nil {
+		return err
+	}
+	c3, err := spec.CompileString("c3",
+		`aggregate [Time.month, URL.domain_grp] where URL.domain_grp = ".com" and Time.month <= 1999/12`, env)
+	if err != nil {
+		return err
+	}
+	if err := spec.CheckNonCrossing(env, []*spec.Action{a2, c3}); err != nil {
+		fmt.Fprintf(w, "crossing detected (overlapping, unordered targets):\n  %v\n", err)
+	}
+	c4, err := spec.CompileString("c4",
+		`aggregate [Time.week, URL.domain] where URL.domain_grp = ".com" and Time.week <= 1999W52`, env)
+	if err != nil {
+		return err
+	}
+	if err := spec.CheckNonCrossing(env, []*spec.Action{a2, c4}); err != nil {
+		fmt.Fprintf(w, "crossing into parallel time branches detected:\n  %v\n", err)
+	}
+	return nil
+}
+
+func runE05(w io.Writer) error {
+	_, env, err := paperSetup()
+	if err != nil {
+		return err
+	}
+	a1, err := spec.CompileString("a1", srcA1, env)
+	if err != nil {
+		return err
+	}
+	a2, err := spec.CompileString("a2", srcA2, env)
+	if err != nil {
+		return err
+	}
+	if err := spec.CheckGrowing(env, []*spec.Action{a1}); err != nil {
+		fmt.Fprintf(w, "{a1} alone violates Growing (Figure 2's left branch):\n  %v\n", err)
+	}
+	if err := spec.CheckGrowing(env, []*spec.Action{a1, a2}); err != nil {
+		return fmt.Errorf("{a1,a2} should be Growing: %w", err)
+	}
+	fmt.Fprintln(w, "{a1, a2} is Growing (Figure 2's valid branch): ok")
+	if err := spec.CheckNonCrossing(env, []*spec.Action{a1, a2}); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "{a1, a2} is NonCrossing: ok")
+	return nil
+}
+
+func runE06(w io.Writer) error {
+	p, s, err := paperSpec12()
+	if err != nil {
+		return err
+	}
+	for _, at := range []string{"2000/4/5", "2000/6/5", "2000/11/5"} {
+		res, err := core.Reduce(s, p.MO, day(at))
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "MO at time %s (%d facts):\n%s", at, res.MO.Len(), res.MO.Dump())
+	}
+	fmt.Fprintln(w, "paper (Figure 3): 7 facts at 2000/4/5; 6 at 2000/6/5 (fact_12);")
+	fmt.Fprintln(w, "4 at 2000/11/5 (fact_03, fact_12, fact_45, fact_6)")
+	// Conservation of totals.
+	res, err := core.Reduce(s, p.MO, day("2000/11/5"))
+	if err != nil {
+		return err
+	}
+	for j, m := range p.Schema.Measures {
+		fmt.Fprintf(w, "  %s: original %v, reduced %v\n", m.Name, p.MO.TotalMeasure(j), res.MO.TotalMeasure(j))
+	}
+	return nil
+}
+
+// moDumpNames prints the names of facts in an MO in cell order.
+func moDumpNames(mo *mdm.MO) []string {
+	var out []string
+	for f := 0; f < mo.Len(); f++ {
+		out = append(out, mo.Name(mdm.FactID(f)))
+	}
+	return out
+}

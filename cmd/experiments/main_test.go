@@ -1,0 +1,51 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsRun executes every experiment against a buffer and
+// asserts each produces its key result line — an integration test over
+// the whole stack, mirroring what `go run ./cmd/experiments` prints.
+func TestAllExperimentsRun(t *testing.T) {
+	keyOutput := map[string][]string{
+		"E01": {"Click Fact", "Time Dimension", "1999/12/4"},
+		"E02": {"a1 <=_V a2: true"},
+		"E03": {"Cell(fact_1) = (1999Q4, cnn.com)"},
+		"E04": {"rejected at compile time", "noncrossing violated"},
+		"E05": {"violates Growing", "{a1, a2} is Growing"},
+		"E06": {"fact_03: 1999Q4, amazon.com", "fact_45: 2000/1, cnn.com"},
+		"E07": {"conservative=false weight=0.33", "conservative=true weight=1.00"},
+		"E08": {"fact_12: cnn.com | Number_of=2 Dwell_time=2489"},
+		"E09": {"fact_03: 1999Q4, amazon.com", "Group_high((1999, amazon.com)) = []"},
+		"E10": {"rejected", "delete(a7) after insert(a8): ok"},
+		"E11": {"{b1, b2, b3} Growing: ok", "without b3 the check fails"},
+		"E12": {"parents={K0,K1}", "[bottom]"},
+		"E13": {"2000Q1, .com", "Dwell_time=1255"},
+		"E14": {"1999Q4, .com", "2000/5, .com"},
+		"E15": {"MATCH"},
+		"E16": {"DNF:", "ok"},
+		"S1":  {"fact share of storage"},
+		"S2":  {"spec-reduction", "no-reduction"},
+		"S3":  {"parallel goroutines"},
+		"S4":  {"facts/sec"},
+		"S5":  {"5/5 time points agree"},
+	}
+	for _, e := range experiments {
+		e := e
+		t.Run(e.id, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := e.run(&buf); err != nil {
+				t.Fatalf("%s failed: %v", e.id, err)
+			}
+			out := buf.String()
+			for _, key := range keyOutput[e.id] {
+				if !strings.Contains(out, key) {
+					t.Errorf("%s output missing %q:\n%s", e.id, key, out)
+				}
+			}
+		})
+	}
+}

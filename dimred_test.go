@@ -1,0 +1,123 @@
+package dimred_test
+
+import (
+	"testing"
+
+	"dimred"
+)
+
+// TestPublicAPIEndToEnd exercises the facade the way a downstream user
+// would: build a warehouse over the paper's example, age it, query it.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	p, err := dimred.PaperMO()
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := dimred.NewEnv(p.Schema, "Time", p.Time)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a1, err := dimred.CompileAction("a1",
+		`aggregate [Time.month, URL.domain] where URL.domain_grp = ".com" and NOW - 12 months < Time.month and Time.month <= NOW - 6 months`, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := dimred.CompileAction("a2",
+		`aggregate [Time.quarter, URL.domain] where URL.domain_grp = ".com" and Time.quarter <= NOW - 4 quarters`, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Functional path: Definition 2 reduction plus the query algebra.
+	sp, err := dimred.NewSpec(env, a1, a2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	at, err := dimred.ParseDay("2000/11/5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	red, err := dimred.Reduce(sp, p.MO, at)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if red.MO.Len() != 4 {
+		t.Fatalf("reduced facts = %d, want 4", red.MO.Len())
+	}
+	pred, err := dimred.ParsePredicate(`URL.domain = "cnn.com"`, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, err := dimred.Select(red.MO, pred, at, dimred.Conservative)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Len() != 2 {
+		t.Errorf("selected = %d", sel.Len())
+	}
+	gran, err := env.Schema.ParseGranularity([]string{"Time.year", "URL.domain_grp"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg, err := dimred.Aggregate(red.MO, gran, dimred.Availability)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.Len() == 0 {
+		t.Error("aggregate empty")
+	}
+	proj, err := dimred.Project(red.MO, []string{"URL"}, []string{"Dwell_time"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if proj.Len() != red.MO.Len() {
+		t.Error("projection changed fact count")
+	}
+
+	// Operational path: the warehouse facade.
+	p2, err := dimred.PaperMO()
+	if err != nil {
+		t.Fatal(err)
+	}
+	env2, err := dimred.NewEnv(p2.Schema, "Time", p2.Time)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, _ := dimred.CompileAction("a1",
+		`aggregate [Time.month, URL.domain] where URL.domain_grp = ".com" and NOW - 12 months < Time.month and Time.month <= NOW - 6 months`, env2)
+	b2, _ := dimred.CompileAction("a2",
+		`aggregate [Time.quarter, URL.domain] where URL.domain_grp = ".com" and Time.quarter <= NOW - 4 quarters`, env2)
+	w, err := dimred.Open(env2, b1, b2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AdvanceTo(dimred.Date(2000, 11, 5)); err != nil {
+		t.Fatal(err)
+	}
+	err = w.LoadBatch(func(load func([]dimred.ValueID, []float64) error) error {
+		for f := 0; f < p2.MO.Len(); f++ {
+			fid := dimred.FactID(f)
+			if err := load(p2.MO.Refs(fid), p2.MO.Measures(fid)); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := w.Query(`aggregate [Time.TOP, URL.TOP]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 1 || res.Measure(0, 1) != 4165 {
+		t.Errorf("grand dwell total = %v, want 4165", res.Measure(0, 1))
+	}
+	st := w.Stats()
+	if st.Rows != 4 {
+		t.Errorf("warehouse rows = %d, want 4 (Figure 3 third snapshot)", st.Rows)
+	}
+	if st.Savings() <= 0 {
+		t.Errorf("savings = %v", st.Savings())
+	}
+}

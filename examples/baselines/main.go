@@ -1,0 +1,111 @@
+// Baselines compares the paper's technique against the alternatives its
+// introduction argues with, on one synthetic click-stream: keeping
+// everything, physically deleting old facts (vacuuming), expiring detail
+// under a single fixed materialized view (Garcia-Molina et al.), and
+// specification-based gradual aggregation — reporting storage and
+// information retention side by side (the S2 experiment as a program).
+//
+//	go run ./examples/baselines
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dimred"
+	"dimred/internal/baseline"
+	"dimred/internal/caltime"
+	"dimred/internal/spec"
+	"dimred/internal/workload"
+)
+
+func main() {
+	obj, err := workload.NewClickSchema()
+	if err != nil {
+		log.Fatal(err)
+	}
+	env, err := spec.NewEnv(obj.Schema, "Time", obj.Time)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// One shared stream so every strategy sees identical facts.
+	type row struct {
+		refs []dimred.ValueID
+		meas []float64
+	}
+	var rows []row
+	var totalDwell float64
+	cfg := workload.ClickConfig{
+		Seed: 2026, Start: dimred.Date(2000, 1, 1), Days: 540,
+		ClicksPerDay: 100, Domains: 25, URLsPerDomain: 8,
+	}
+	err = workload.GenerateClicks(cfg, func(c workload.Click) error {
+		refs, meas, err := obj.Row(c)
+		if err != nil {
+			return err
+		}
+		rows = append(rows, row{refs, meas})
+		totalDwell += meas[1]
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The competing policies, all cutting at 3 months.
+	cutoff := caltime.Span{N: 3, Unit: caltime.UnitMonth}
+	viewGran, err := obj.Schema.ParseGranularity([]string{"Time.month", "URL.domain"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sp, err := spec.New(env,
+		spec.MustCompileString("to-month",
+			`aggregate [Time.month, URL.domain] where Time.month <= NOW - 3 months`, env),
+		spec.MustCompileString("to-quarter",
+			`aggregate [Time.quarter, URL.domain_grp] where Time.quarter <= NOW - 4 quarters`, env))
+	if err != nil {
+		log.Fatal(err)
+	}
+	specStrategy, err := baseline.NewSpecReduction(sp)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := baseline.Context{Schema: obj.Schema, TimeIdx: 0, Time: obj.Time}
+	strategies := []baseline.Strategy{
+		baseline.NewNoReduction(ctx),
+		baseline.NewAgeDeletion(ctx, cutoff),
+		baseline.NewViewExpire(ctx, viewGran, cutoff),
+		specStrategy,
+	}
+
+	for _, s := range strategies {
+		for _, r := range rows {
+			if err := s.Load(r.refs, r.meas); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+
+	fmt.Printf("%d clicks over 18 months; aging under each strategy\n\n", len(rows))
+	fmt.Printf("%-12s %-22s %10s %12s %9s %9s\n", "as of", "strategy", "rows", "bytes", "dwell%", "lossless")
+	for _, at := range []caltime.Day{
+		dimred.Date(2001, 7, 1),
+		dimred.Date(2002, 7, 1),
+		dimred.Date(2004, 7, 1),
+	} {
+		for _, s := range strategies {
+			if err := s.Advance(at); err != nil {
+				log.Fatal(err)
+			}
+			retained := 100 * s.Total(1) / totalDwell
+			fmt.Printf("%-12s %-22s %10d %12d %8.1f%% %9v\n",
+				at, s.Name(), s.Rows(), s.Bytes(), retained, s.Total(1) == totalDwell)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("deletion wins on bytes but forgets history; view-expire keeps one")
+	fmt.Println("fixed view; spec-reduction keeps every declared granularity exact")
+	fmt.Println("while storage falls orders of magnitude below no-reduction.")
+}

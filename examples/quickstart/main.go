@@ -1,0 +1,103 @@
+// Quickstart: build a small click warehouse, give it a reduction
+// specification, load data, let a year pass, and query it.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dimred"
+)
+
+func main() {
+	// 1. Dimensions and schema. The Time dimension carries the calendar
+	// hierarchy (day < week; day < month < quarter < year); the URL
+	// dimension derives domain and domain group from each url.
+	timeDim := dimred.NewTimeDim()
+	urlDim := dimred.NewURLDim()
+	schema, err := dimred.NewSchema("Click",
+		[]*dimred.Dimension{timeDim.Dimension, urlDim.Dimension},
+		[]dimred.Measure{
+			{Name: "Clicks", Agg: dimred.AggSum},
+			{Name: "Dwell", Agg: dimred.AggSum},
+		})
+	if err != nil {
+		log.Fatal(err)
+	}
+	env, err := dimred.NewEnv(schema, "Time", timeDim)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. The reduction specification: detail for 2 months, monthly for a
+	// year, quarterly beyond. The library verifies it is NonCrossing and
+	// Growing before accepting it.
+	toMonth, err := dimred.CompileAction("to-month",
+		`aggregate [Time.month, URL.domain] where Time.month <= NOW - 2 months`, env)
+	if err != nil {
+		log.Fatal(err)
+	}
+	toQuarter, err := dimred.CompileAction("to-quarter",
+		`aggregate [Time.quarter, URL.domain_grp] where Time.quarter <= NOW - 4 quarters`, env)
+	if err != nil {
+		log.Fatal(err)
+	}
+	w, err := dimred.Open(env, toMonth, toQuarter)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Load a few months of clicks.
+	if err := w.AdvanceTo(dimred.Date(2024, 1, 1)); err != nil {
+		log.Fatal(err)
+	}
+	urls := []string{
+		"http://shop.example.com/checkout",
+		"http://shop.example.com/",
+		"http://blog.example.org/post/1",
+	}
+	err = w.LoadBatch(func(load func([]dimred.ValueID, []float64) error) error {
+		for day := 0; day < 120; day++ {
+			d := timeDim.EnsureDay(dimred.Date(2024, 1, 1) + dimred.Day(day))
+			for i, raw := range urls {
+				u, err := urlDim.EnsureURL(raw)
+				if err != nil {
+					return err
+				}
+				if err := load([]dimred.ValueID{d, u}, []float64{float64(i + 1), float64(10 * (i + 1))}); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("after loading 120 days of clicks:")
+	fmt.Print(w.Stats())
+
+	// 4. A year later the detail has been aggregated away — but every
+	// query at the retained granularities still answers exactly.
+	if err := w.AdvanceTo(dimred.Date(2025, 6, 1)); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\na year and a half later:")
+	fmt.Print(w.Stats())
+
+	res, err := w.Query(`aggregate [Time.quarter, URL.domain_grp]`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nclicks per quarter and domain group:")
+	fmt.Print(res.Dump())
+
+	total, err := w.Query(`aggregate [Time.TOP, URL.TOP]`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ngrand totals (exact despite reduction): clicks=%v dwell=%v\n",
+		total.Measure(0, 0), total.Measure(0, 1))
+}

@@ -1,0 +1,111 @@
+package dimred_test
+
+import (
+	"testing"
+
+	"dimred"
+)
+
+// TestFacadeCoverage exercises the remaining public wrappers end to end:
+// hand-built dimensions, schema and MO construction, period parsing, and
+// the cube-set API.
+func TestFacadeCoverage(t *testing.T) {
+	// Calendar helpers.
+	if d := dimred.Date(1999, 12, 4); d.String() != "1999/12/4" {
+		t.Error("Date")
+	}
+	p, err := dimred.ParsePeriod("1999Q4")
+	if err != nil || p.String() != "1999Q4" {
+		t.Error("ParsePeriod")
+	}
+	if dimred.UnitDay.String() != "day" || dimred.UnitYear.String() != "year" {
+		t.Error("unit constants")
+	}
+
+	// Hand-built dimension + schema + MO.
+	d := dimred.NewDimension("Region")
+	city, err := d.AddCategory("city", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	country, err := d.AddCategory("country", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Contains(city, country); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	dk, err := d.AddValue(country, "DK", 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aal, err := d.AddValue(city, "Aalborg", 0, map[dimred.CategoryID]dimred.ValueID{country: dk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	schema, err := dimred.NewSchema("Visit", []*dimred.Dimension{d},
+		[]dimred.Measure{{Name: "n", Agg: dimred.AggCount}, {Name: "max", Agg: dimred.AggMax}, {Name: "min", Agg: dimred.AggMin}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mo := dimred.NewMO(schema)
+	if _, err := mo.AddFact([]dimred.ValueID{aal}, []float64{1, 5, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if mo.Len() != 1 {
+		t.Error("MO")
+	}
+
+	// LinearDim + time-free env + aggregation.
+	ld, err := dimred.NewLinearDim("Product", "sku", "brand")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ld.Ensure("sku-1", "acme"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Cube set over the paper spec via the facade.
+	paper, err := dimred.PaperMO()
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := dimred.NewEnv(paper.Schema, "Time", paper.Time)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := dimred.CompileAction("a2",
+		`aggregate [Time.quarter, URL.domain] where URL.domain_grp = ".com" and Time.quarter <= NOW - 4 quarters`, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := dimred.NewSpec(env, a2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, err := dimred.NewCubeSet(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cs.InsertMO(paper.MO); err != nil {
+		t.Fatal(err)
+	}
+	at, _ := dimred.ParseDay("2000/11/5")
+	if _, err := cs.Sync(at); err != nil {
+		t.Fatal(err)
+	}
+	q, err := dimred.ParseQuery(`aggregate [Time.year, URL.domain_grp]`, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := cs.Evaluate(q, at)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() == 0 {
+		t.Error("cube query empty")
+	}
+}

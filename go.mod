@@ -1,0 +1,3 @@
+module dimred
+
+go 1.24

@@ -1,0 +1,203 @@
+package baseline
+
+import (
+	"testing"
+
+	"dimred/internal/caltime"
+	"dimred/internal/mdm"
+	"dimred/internal/spec"
+	"dimred/internal/workload"
+)
+
+// setup builds a 120-day click-stream and returns the context plus the
+// per-fact rows and the grand totals.
+func setup(t *testing.T) (Context, [][2]interface{}, []float64) {
+	t.Helper()
+	cfg := workload.ClickConfig{
+		Seed: 9, Start: caltime.Date(2000, 1, 1), Days: 120,
+		ClicksPerDay: 20, Domains: 5, URLsPerDomain: 3,
+	}
+	obj, err := workload.NewClickSchema()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rows [][2]interface{}
+	err = workload.GenerateClicks(cfg, func(c workload.Click) error {
+		refs, meas, err := obj.Row(c)
+		if err != nil {
+			return err
+		}
+		rows = append(rows, [2]interface{}{refs, meas})
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	totals := make([]float64, len(obj.Schema.Measures))
+	for _, r := range rows {
+		for j, v := range r[1].([]float64) {
+			totals[j] += v
+		}
+	}
+	ctx := Context{Schema: obj.Schema, TimeIdx: 0, Time: obj.Time}
+	return ctx, rows, totals
+}
+
+func loadAll(t *testing.T, s Strategy, rows [][2]interface{}) {
+	t.Helper()
+	for _, r := range rows {
+		if err := s.Load(r[0].([]mdm.ValueID), r[1].([]float64)); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestNoReductionKeepsEverything(t *testing.T) {
+	ctx, rows, totals := setup(t)
+	s := NewNoReduction(ctx)
+	loadAll(t, s, rows)
+	if err := s.Advance(caltime.Date(2005, 1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if s.Rows() != len(rows) {
+		t.Errorf("rows = %d, want %d", s.Rows(), len(rows))
+	}
+	if got := s.Total(1); got != totals[1] {
+		t.Errorf("dwell total = %v, want %v", got, totals[1])
+	}
+	if s.Name() != "no-reduction" {
+		t.Error("name")
+	}
+}
+
+func TestAgeDeletionDropsOldRowsAndTotals(t *testing.T) {
+	ctx, rows, totals := setup(t)
+	s := NewAgeDeletion(ctx, caltime.Span{N: 2, Unit: caltime.UnitMonth})
+	loadAll(t, s, rows)
+	before := s.Bytes()
+	// Advance to just after the stream: only the last ~2 months survive.
+	if err := s.Advance(caltime.Date(2000, 5, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if s.Rows() >= len(rows) {
+		t.Errorf("rows = %d, nothing deleted", s.Rows())
+	}
+	if s.Bytes() >= before {
+		t.Error("bytes did not shrink")
+	}
+	// Information loss: the retained total is strictly below the loaded
+	// total — deletion forgets history.
+	if got := s.Total(1); got >= totals[1] {
+		t.Errorf("dwell total = %v, want < %v", got, totals[1])
+	}
+	// Advancing far enough deletes everything.
+	if err := s.Advance(caltime.Date(2010, 1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if s.Rows() != 0 || s.Total(1) != 0 {
+		t.Errorf("rows=%d total=%v after full expiry", s.Rows(), s.Total(1))
+	}
+}
+
+func TestViewExpirePreservesTotalsAtViewGranularity(t *testing.T) {
+	ctx, rows, totals := setup(t)
+	gran, err := ctx.Schema.ParseGranularity([]string{"Time.month", "URL.domain"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewViewExpire(ctx, gran, caltime.Span{N: 2, Unit: caltime.UnitMonth})
+	loadAll(t, s, rows)
+	if err := s.Advance(caltime.Date(2001, 1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	// Detail is gone, but the view preserves grand totals.
+	if got := s.Total(1); got != totals[1] {
+		t.Errorf("view dwell total = %v, want %v", got, totals[1])
+	}
+	// Storage far below no-reduction.
+	nr := NewNoReduction(ctx)
+	loadAll(t, nr, rows)
+	if s.Bytes() >= nr.Bytes() {
+		t.Errorf("view-expire bytes %d not below no-reduction %d", s.Bytes(), nr.Bytes())
+	}
+	if s.Rows() == 0 {
+		t.Error("view should retain rows")
+	}
+}
+
+func TestSpecReductionStrategy(t *testing.T) {
+	ctx, rows, totals := setup(t)
+	env, err := spec.NewEnv(ctx.Schema, "Time", ctx.Time)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a1 := spec.MustCompileString("month-after-2m",
+		`aggregate [Time.month, URL.domain] where Time.month <= NOW - 2 months`, env)
+	sp, err := spec.New(env, a1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSpecReduction(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loadAll(t, s, rows)
+	// The engine merges facts sharing a bottom cell (Definition 2 groups
+	// facts by cell), so the row count is at most the click count.
+	before := s.Rows()
+	if before == 0 || before > len(rows) {
+		t.Errorf("rows before advance = %d", before)
+	}
+	if err := s.Advance(caltime.Date(2000, 8, 1)); err != nil {
+		t.Fatal(err)
+	}
+	// Aggregation shrinks rows while preserving SUM totals exactly.
+	if s.Rows() >= before {
+		t.Errorf("rows = %d (was %d), no reduction happened", s.Rows(), before)
+	}
+	for j := range ctx.Schema.Measures {
+		if got := s.Total(j); got != totals[j] {
+			t.Errorf("measure %d total = %v, want %v", j, got, totals[j])
+		}
+	}
+	if s.Cubes() == nil {
+		t.Error("Cubes accessor")
+	}
+}
+
+func TestStrategyStorageOrdering(t *testing.T) {
+	// The qualitative S2 shape: deletion <= spec-reduction < no-reduction
+	// in bytes after aging, while spec-reduction preserves totals and
+	// deletion does not.
+	ctx, rows, totals := setup(t)
+	env, err := spec.NewEnv(ctx.Schema, "Time", ctx.Time)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := spec.New(env, spec.MustCompileString("m",
+		`aggregate [Time.month, URL.domain] where Time.month <= NOW - 1 month`, env))
+	if err != nil {
+		t.Fatal(err)
+	}
+	red, err := NewSpecReduction(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	del := NewAgeDeletion(ctx, caltime.Span{N: 1, Unit: caltime.UnitMonth})
+	nr := NewNoReduction(ctx)
+	for _, s := range []Strategy{red, del, nr} {
+		loadAll(t, s, rows)
+		if err := s.Advance(caltime.Date(2000, 12, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !(del.Bytes() <= red.Bytes() && red.Bytes() < nr.Bytes()) {
+		t.Errorf("bytes ordering: delete=%d spec=%d none=%d", del.Bytes(), red.Bytes(), nr.Bytes())
+	}
+	if red.Total(1) != totals[1] {
+		t.Error("spec reduction lost information")
+	}
+	if del.Total(1) >= totals[1] {
+		t.Error("deletion should lose information in this configuration")
+	}
+}

@@ -1,0 +1,44 @@
+package caltime
+
+import "testing"
+
+func BenchmarkPeriodOf(b *testing.B) {
+	d := Date(1999, 12, 4)
+	for i := 0; i < b.N; i++ {
+		for u := UnitDay; u <= UnitYear; u++ {
+			_ = PeriodOf(d, u)
+		}
+	}
+}
+
+func BenchmarkISOWeek(b *testing.B) {
+	d := Date(1999, 12, 4)
+	for i := 0; i < b.N; i++ {
+		_, _ = d.ISOWeek()
+	}
+}
+
+func BenchmarkAddSpanMonths(b *testing.B) {
+	d := Date(2000, 11, 5)
+	s := Span{N: -6, Unit: UnitMonth}
+	for i := 0; i < b.N; i++ {
+		_ = AddSpan(d, s)
+	}
+}
+
+func BenchmarkParsePeriod(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ParsePeriod("1999W48"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExprEvalPeriod(b *testing.B) {
+	e := NowExpr().Minus(Span{N: 6, Unit: UnitMonth})
+	now := Date(2000, 11, 5)
+	for i := 0; i < b.N; i++ {
+		_ = e.EvalPeriod(now, UnitMonth)
+	}
+}

@@ -1,0 +1,100 @@
+package caltime
+
+import "strings"
+
+// Expr is a time expression from the specification grammar (Table 1):
+//
+//	tt ::= tt - tt | tt + tt | (tt) | t | s
+//
+// where t is an anchored time value or the variable NOW and s is a span.
+// After parsing, every expression normalizes to one base (an anchored
+// period or NOW) adjusted by a sequence of signed spans, e.g.
+// "NOW - 12 months" or "1999/12 + 2 quarters".
+type Expr struct {
+	Now    bool   // base is the NOW variable
+	Anchor Period // base period, when !Now
+	Spans  []Span // signed adjustments, applied left to right
+}
+
+// NowExpr returns the expression "NOW" adjusted by the given spans.
+func NowExpr(spans ...Span) Expr { return Expr{Now: true, Spans: spans} }
+
+// AnchorExpr returns the expression for an anchored period adjusted by the
+// given spans.
+func AnchorExpr(p Period, spans ...Span) Expr { return Expr{Anchor: p, Spans: spans} }
+
+// Minus returns e adjusted backwards by span s.
+func (e Expr) Minus(s Span) Expr {
+	spans := append(append([]Span(nil), e.Spans...), Span{-s.N, s.Unit})
+	return Expr{Now: e.Now, Anchor: e.Anchor, Spans: spans}
+}
+
+// Plus returns e adjusted forwards by span s.
+func (e Expr) Plus(s Span) Expr {
+	spans := append(append([]Span(nil), e.Spans...), s)
+	return Expr{Now: e.Now, Anchor: e.Anchor, Spans: spans}
+}
+
+// IsNowRelative reports whether the expression depends on NOW.
+func (e Expr) IsNowRelative() bool { return e.Now }
+
+// EvalDay resolves the expression to a day: the base day (NOW bound to
+// now, or the first day of the anchor period) shifted by the spans.
+func (e Expr) EvalDay(now Day) Day {
+	d := now
+	if !e.Now {
+		d = e.Anchor.First()
+	}
+	for _, s := range e.Spans {
+		d = AddSpan(d, s)
+	}
+	return d
+}
+
+// EvalPeriod resolves the expression at unit u, binding NOW to now. This
+// matches the paper's worked examples: at now = 2000/11/5, the expression
+// "NOW - 4 quarters" at unit quarter is 1999Q4 ("2000Q4 - 4").
+func (e Expr) EvalPeriod(now Day, u Unit) Period {
+	return PeriodOf(e.EvalDay(now), u)
+}
+
+// BaseUnit returns the unit of the anchored base and true, or (0, false)
+// for NOW-relative expressions (whose unit is the comparison category's).
+func (e Expr) BaseUnit() (Unit, bool) {
+	if e.Now {
+		return 0, false
+	}
+	return e.Anchor.Unit, true
+}
+
+// MaxOffsetDays bounds, in days, how far the expression's value can lie
+// from its base. The soundness decision procedure uses it to size the
+// time horizon it iterates over.
+func (e Expr) MaxOffsetDays() int64 {
+	var total int64
+	for _, s := range e.Spans {
+		total += s.MaxSpanDays()
+	}
+	return total
+}
+
+// String renders the expression in the paper's notation, e.g.
+// "NOW - 6 months".
+func (e Expr) String() string {
+	var b strings.Builder
+	if e.Now {
+		b.WriteString("NOW")
+	} else {
+		b.WriteString(e.Anchor.String())
+	}
+	for _, s := range e.Spans {
+		if s.N < 0 {
+			b.WriteString(" - ")
+			b.WriteString(Span{-s.N, s.Unit}.String())
+		} else {
+			b.WriteString(" + ")
+			b.WriteString(s.String())
+		}
+	}
+	return b.String()
+}

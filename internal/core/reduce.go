@@ -1,0 +1,190 @@
+// Package core implements the paper's primary contribution: the
+// semantics of reducing a multidimensional object under a data reduction
+// specification (Section 4.2 auxiliary functions and the Definition 2
+// reduction semantics), including per-fact provenance so that, as the
+// paper requires, "for any fact in a reduced MO it is possible to
+// determine the specific action that caused the fact to be aggregated to
+// its current level".
+//
+// Reduce is purely functional: it never mutates its input MO. The
+// subcube engine (package subcube) is the incremental, operational
+// counterpart; integration tests verify the two agree.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"dimred/internal/caltime"
+	"dimred/internal/mdm"
+	"dimred/internal/spec"
+)
+
+// SpecGran returns Spec_gran(f, t) (Eq. 11): the set of granularities
+// specified as aggregation levels for fact f at time t — the targets of
+// every action whose predicate f's direct cell satisfies, plus f's own
+// granularity (so the set is never empty).
+func SpecGran(s *spec.Spec, mo *mdm.MO, f mdm.FactID, t caltime.Day) []mdm.Granularity {
+	cell := mo.Refs(f)
+	out := []mdm.Granularity{mo.Gran(f)}
+	for _, a := range s.Actions() {
+		if a.IsDelete() {
+			continue // deletion is handled separately (Spec.DeletedBy)
+		}
+		if a.SatisfiedBy(cell, t) {
+			out = append(out, a.Target())
+		}
+	}
+	return out
+}
+
+// Cell returns Cell(f, t) (Eq. 12): the cell of dimension values fact f
+// aggregates to at time t — f's values rolled up to the maximum
+// granularity in Spec_gran(f, t) — together with that granularity and,
+// per dimension, the action responsible for the level (nil where f's own
+// granularity prevails). It fails if the specified granularities have no
+// maximum, which a NonCrossing specification never produces.
+func Cell(s *spec.Spec, mo *mdm.MO, f mdm.FactID, t caltime.Day) ([]mdm.ValueID, mdm.Granularity, []*spec.Action, error) {
+	schema := s.Env().Schema
+	grans := SpecGran(s, mo, f, t)
+	max, err := schema.MaxGranularity(grans)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("core: Cell(%s): %w", mo.Name(f), err)
+	}
+	cell := mo.Refs(f)
+	out := make([]mdm.ValueID, len(cell))
+	for i, d := range schema.Dims {
+		v := d.AncestorAt(cell[i], max[i])
+		if v == mdm.NoValue {
+			return nil, nil, nil, fmt.Errorf("core: Cell(%s): value %s has no ancestor in category %s",
+				mo.Name(f), d.ValueName(cell[i]), d.Category(max[i]).Name)
+		}
+		out[i] = v
+	}
+	// Per-dimension responsibility from AggLevel; its levels coincide
+	// with max for a NonCrossing specification.
+	_, resp := s.AggLevel(cell, t)
+	return out, max, resp, nil
+}
+
+// Provenance records how one reduced fact came to be.
+type Provenance struct {
+	Sources     []mdm.FactID   // facts of the input MO aggregated into it
+	Responsible []*spec.Action // per dimension; nil where no action raised the level
+}
+
+// Result is the outcome of a reduction: the reduced MO (Definition 2)
+// plus provenance per reduced fact. Deleted records facts of the input
+// MO removed by deletion actions (the Section 8 extension), keyed by the
+// responsible action's name.
+type Result struct {
+	MO      *mdm.MO
+	Prov    map[mdm.FactID]Provenance
+	Deleted map[string][]mdm.FactID
+}
+
+// Reduce computes the reduced multidimensional object O'(t) of
+// Definition 2: facts are grouped by the cell they aggregate to at time
+// t, each group becomes one fact mapped directly to that cell, and each
+// measure is folded with its default aggregate function over the group.
+// The schema and dimensions are unchanged, so new facts conforming to
+// the original schema may still be inserted afterwards.
+func Reduce(s *spec.Spec, mo *mdm.MO, t caltime.Day) (*Result, error) {
+	schema := s.Env().Schema
+	type group struct {
+		cell    []mdm.ValueID
+		sources []mdm.FactID
+		meas    []float64
+		base    int64
+		resp    []*spec.Action
+	}
+	groups := make(map[string]*group)
+	order := make([]string, 0)
+	deleted := make(map[string][]mdm.FactID)
+
+	var keyBuf []byte
+	for f := 0; f < mo.Len(); f++ {
+		fid := mdm.FactID(f)
+		if del := s.DeletedBy(mo.Refs(fid), t); del != nil {
+			deleted[del.Name()] = append(deleted[del.Name()], fid)
+			continue
+		}
+		cell, _, resp, err := Cell(s, mo, fid, t)
+		if err != nil {
+			return nil, err
+		}
+		keyBuf = keyBuf[:0]
+		for _, v := range cell {
+			keyBuf = append(keyBuf,
+				byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+		}
+		key := string(keyBuf)
+		g, ok := groups[key]
+		if !ok {
+			g = &group{cell: cell, meas: make([]float64, len(schema.Measures)), resp: resp}
+			for j := range schema.Measures {
+				g.meas[j] = schema.Measures[j].Agg.Init(mo.Measure(fid, j))
+				if schema.Measures[j].Agg == mdm.AggCount {
+					g.meas[j] = float64(mo.BaseCount(fid))
+				}
+			}
+			g.base = mo.BaseCount(fid)
+			g.sources = append(g.sources, fid)
+			groups[key] = g
+			order = append(order, key)
+			continue
+		}
+		for j := range schema.Measures {
+			agg := schema.Measures[j].Agg
+			x := agg.Init(mo.Measure(fid, j))
+			if agg == mdm.AggCount {
+				x = float64(mo.BaseCount(fid))
+			}
+			g.meas[j] = agg.Merge(g.meas[j], x)
+		}
+		g.base += mo.BaseCount(fid)
+		g.sources = append(g.sources, fid)
+		// Keep the responsibility that raised levels highest.
+		for i := range resp {
+			if g.resp[i] == nil {
+				g.resp[i] = resp[i]
+			}
+		}
+	}
+
+	out := mdm.NewMO(schema)
+	res := &Result{MO: out, Prov: make(map[mdm.FactID]Provenance, len(order)), Deleted: deleted}
+	for _, key := range order {
+		g := groups[key]
+		name := mergedName(mo, g.sources)
+		nf, err := out.AddFactAt(g.cell, g.meas, g.base, name)
+		if err != nil {
+			return nil, fmt.Errorf("core: Reduce: %w", err)
+		}
+		res.Prov[nf] = Provenance{Sources: g.sources, Responsible: g.resp}
+	}
+	return res, nil
+}
+
+// mergedName derives the display name of a reduced fact from its
+// sources, following the paper's figures: fact_0 and fact_3 aggregate to
+// "fact_03", fact_4 and fact_5 to "fact_45". A single source keeps its
+// name; sources without the fact_<digits> shape fall back to
+// "agg(<n> facts)".
+func mergedName(mo *mdm.MO, sources []mdm.FactID) string {
+	if len(sources) == 1 {
+		return mo.Name(sources[0])
+	}
+	suffixes := make([]string, 0, len(sources))
+	for _, f := range sources {
+		name := mo.Name(f)
+		rest, ok := strings.CutPrefix(name, "fact_")
+		if !ok {
+			return fmt.Sprintf("agg(%d facts)", len(sources))
+		}
+		suffixes = append(suffixes, rest)
+	}
+	sort.Strings(suffixes)
+	return "fact_" + strings.Join(suffixes, "")
+}

@@ -1,0 +1,214 @@
+package dims
+
+import (
+	"testing"
+
+	"dimred/internal/caltime"
+	"dimred/internal/mdm"
+)
+
+func TestTimeDimSparseInsert(t *testing.T) {
+	td := NewTimeDim()
+	d1, _ := caltime.ParseDay("1999/12/4")
+	v1 := td.EnsureDay(d1)
+	if v1 != td.EnsureDay(d1) {
+		t.Error("EnsureDay not idempotent")
+	}
+	// Ancestors exist and carry the paper's notation.
+	m := td.AncestorAt(v1, td.Month)
+	if td.ValueName(m) != "1999/12" {
+		t.Errorf("month ancestor = %q", td.ValueName(m))
+	}
+	w := td.AncestorAt(v1, td.Week)
+	if td.ValueName(w) != "1999W48" {
+		t.Errorf("week ancestor = %q", td.ValueName(w))
+	}
+	q := td.AncestorAt(v1, td.Quarter)
+	if td.ValueName(q) != "1999Q4" {
+		t.Errorf("quarter ancestor = %q", td.ValueName(q))
+	}
+	y := td.AncestorAt(v1, td.Year)
+	if td.ValueName(y) != "1999" {
+		t.Errorf("year ancestor = %q", td.ValueName(y))
+	}
+	// Sparse: only the inserted day exists.
+	if got := len(td.ValuesIn(td.Day)); got != 1 {
+		t.Errorf("day values = %d, want 1", got)
+	}
+	// A second day in the same month shares ancestors.
+	d2, _ := caltime.ParseDay("1999/12/31")
+	v2 := td.EnsureDay(d2)
+	if td.AncestorAt(v2, td.Month) != m {
+		t.Error("same-month days should share the month value")
+	}
+	if td.AncestorAt(v2, td.Week) == w {
+		t.Error("different weeks should not share the week value")
+	}
+	min, max, ok := td.Range()
+	if !ok || min != d1 || max != d2 {
+		t.Errorf("Range = %v %v %v", min, max, ok)
+	}
+}
+
+func TestTimeDimUnitMapping(t *testing.T) {
+	td := NewTimeDim()
+	for _, u := range []caltime.Unit{caltime.UnitDay, caltime.UnitWeek, caltime.UnitMonth, caltime.UnitQuarter, caltime.UnitYear} {
+		c := td.CategoryForUnit(u)
+		if c == mdm.NoCategory {
+			t.Fatalf("no category for %v", u)
+		}
+		back, ok := td.UnitForCategory(c)
+		if !ok || back != u {
+			t.Errorf("unit round-trip %v -> %v", u, back)
+		}
+	}
+	if _, ok := td.UnitForCategory(td.Dimension.Top()); ok {
+		t.Error("TOP should have no unit")
+	}
+}
+
+func TestTimeDimPeriodOfValue(t *testing.T) {
+	td := NewTimeDim()
+	d, _ := caltime.ParseDay("2000/1/4")
+	v := td.EnsureDay(d)
+	q := td.AncestorAt(v, td.Quarter)
+	p, ok := td.PeriodOfValue(q)
+	if !ok || p.String() != "2000Q1" {
+		t.Errorf("PeriodOfValue = %v %v", p, ok)
+	}
+	if _, ok := td.PeriodOfValue(td.TopValueID()); ok {
+		t.Error("top value should have no period")
+	}
+	pv, ok := td.PeriodValue(p)
+	if !ok || pv != q {
+		t.Errorf("PeriodValue = %v %v", pv, ok)
+	}
+}
+
+func TestSplitURL(t *testing.T) {
+	cases := []struct{ raw, dom, grp string }{
+		{"http://www.cnn.com/health", "cnn.com", ".com"},
+		{"http://www.cc.gatech.edu/", "gatech.edu", ".edu"},
+		{"www.amazon.com/exec/x", "amazon.com", ".com"},
+		{"cnn.com", "cnn.com", ".com"},
+	}
+	for _, c := range cases {
+		dom, grp, err := SplitURL(c.raw)
+		if err != nil {
+			t.Fatalf("SplitURL(%q): %v", c.raw, err)
+		}
+		if dom != c.dom || grp != c.grp {
+			t.Errorf("SplitURL(%q) = %q, %q; want %q, %q", c.raw, dom, grp, c.dom, c.grp)
+		}
+	}
+	for _, bad := range []string{"localhost", "", "http:///x"} {
+		if _, _, err := SplitURL(bad); err == nil {
+			t.Errorf("SplitURL(%q) succeeded", bad)
+		}
+	}
+}
+
+func TestURLDim(t *testing.T) {
+	ud := NewURLDim()
+	v1 := ud.MustEnsureURL("http://www.cnn.com/health")
+	v2 := ud.MustEnsureURL("http://www.cnn.com/")
+	if v1 == v2 {
+		t.Error("distinct urls share a value")
+	}
+	if ud.AncestorAt(v1, ud.Domain) != ud.AncestorAt(v2, ud.Domain) {
+		t.Error("same-domain urls should share the domain value")
+	}
+	if ud.MustEnsureURL("http://www.cnn.com/health") != v1 {
+		t.Error("EnsureURL not idempotent")
+	}
+	g := ud.AncestorAt(v1, ud.Group)
+	if ud.ValueName(g) != ".com" {
+		t.Errorf("group = %q", ud.ValueName(g))
+	}
+}
+
+func TestLinearDim(t *testing.T) {
+	ld, err := NewLinearDim("Product", "product", "category", "department")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, err := ld.Ensure("widget-1", "widgets", "hardware")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := ld.Ensure("widget-2", "widgets", "hardware")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ld.AncestorAt(p1, ld.Levels[1]) != ld.AncestorAt(p2, ld.Levels[1]) {
+		t.Error("same category should be shared")
+	}
+	// Conflicting roll-up is rejected.
+	if _, err := ld.Ensure("widget-1", "gadgets", "hardware"); err == nil {
+		t.Error("conflicting roll-up accepted")
+	}
+	// Wrong arity.
+	if _, err := ld.Ensure("a", "b"); err == nil {
+		t.Error("wrong path arity accepted")
+	}
+	if _, err := NewLinearDim("Empty"); err == nil {
+		t.Error("empty linear dimension accepted")
+	}
+}
+
+func TestPaperMO(t *testing.T) {
+	p := MustPaperMO()
+	if p.MO.Len() != 7 {
+		t.Fatalf("paper MO has %d facts, want 7", p.MO.Len())
+	}
+	// Dimension cardinalities from Figure 1 / Table 2.
+	if got := len(p.Time.ValuesIn(p.Time.Day)); got != 5 {
+		t.Errorf("days = %d, want 5", got)
+	}
+	if got := len(p.Time.ValuesIn(p.Time.Week)); got != 5 {
+		t.Errorf("weeks = %d, want 5", got)
+	}
+	if got := len(p.Time.ValuesIn(p.Time.Month)); got != 3 {
+		t.Errorf("months = %d, want 3", got)
+	}
+	if got := len(p.Time.ValuesIn(p.Time.Quarter)); got != 2 {
+		t.Errorf("quarters = %d, want 2", got)
+	}
+	if got := len(p.Time.ValuesIn(p.Time.Year)); got != 2 {
+		t.Errorf("years = %d, want 2", got)
+	}
+	if got := len(p.URL.ValuesIn(p.URL.URL)); got != 4 {
+		t.Errorf("urls = %d, want 4", got)
+	}
+	if got := len(p.URL.ValuesIn(p.URL.Domain)); got != 3 {
+		t.Errorf("domains = %d, want 3", got)
+	}
+	if got := len(p.URL.ValuesIn(p.URL.Group)); got != 2 {
+		t.Errorf("domain groups = %d, want 2", got)
+	}
+
+	// fact_1: 1999/12/4, www.cnn.com/health, dwell 2335.
+	f1 := p.Facts[1]
+	if p.MO.Measure(f1, 1) != 2335 {
+		t.Errorf("fact_1 dwell = %v", p.MO.Measure(f1, 1))
+	}
+	day := p.Time.ValueName(p.MO.Ref(f1, 0))
+	if day != "1999/12/4" {
+		t.Errorf("fact_1 day = %q", day)
+	}
+	// fact_6 is the only .edu fact.
+	f6 := p.Facts[6]
+	grpVal, _ := p.URL.ValueByName(p.URL.Group, ".edu")
+	if !p.MO.CharacterizedBy(f6, 1, grpVal) {
+		t.Error("fact_6 should be characterized by .edu")
+	}
+	for i := 0; i < 6; i++ {
+		if p.MO.CharacterizedBy(p.Facts[i], 1, grpVal) {
+			t.Errorf("fact_%d should not be .edu", i)
+		}
+	}
+	// Total dwell time across the MO (sum of Table 2 column): 4165.
+	if got := p.MO.TotalMeasure(1); got != 677+2335+154+12+654+301+32 {
+		t.Errorf("total dwell = %v", got)
+	}
+}

@@ -1,0 +1,100 @@
+package dims
+
+import (
+	"dimred/internal/caltime"
+	"dimred/internal/mdm"
+)
+
+// PaperURLs are the four url values of Appendix A, Table 2, in url_id
+// order (601..604).
+var PaperURLs = []string{
+	"http://www.cc.gatech.edu/",
+	"http://www.cnn.com/",
+	"http://www.cnn.com/health",
+	"http://www.amazon.com/exec/obidos/tg/browse/-/465600/ref=b_tn_un/107-2047155-8802158",
+}
+
+// paperFact describes one row of the Click fact table of Table 2.
+type paperFact struct {
+	day                              string
+	url                              int // index into PaperURLs
+	numberOf, dwell, delivery, sizeK float64
+}
+
+var paperFacts = []paperFact{
+	{"1999/11/23", 3, 1, 677, 2, 34}, // fact_0
+	{"1999/12/4", 2, 1, 2335, 5, 52}, // fact_1
+	{"1999/12/4", 1, 1, 154, 2, 42},  // fact_2
+	{"1999/12/31", 3, 1, 12, 1, 34},  // fact_3
+	{"2000/1/4", 1, 1, 654, 4, 47},   // fact_4
+	{"2000/1/4", 2, 1, 301, 6, 52},   // fact_5
+	{"2000/1/20", 0, 1, 32, 1, 12},   // fact_6
+}
+
+// PaperObject bundles the running example of the paper: the
+// multidimensional object of Appendix A together with its dimensions.
+// Measures: Number_of, Dwell_time, Delivery_time, Datasize (in kB), all
+// with default aggregate function SUM, as in the paper.
+type PaperObject struct {
+	MO     *mdm.MO
+	Schema *mdm.Schema
+	Time   *TimeDim
+	URL    *URLDim
+	Facts  []mdm.FactID // fact_0 .. fact_6
+}
+
+// PaperMO constructs the example MO exactly as printed in Appendix A:
+// seven click facts over the sparse Time dimension (five days and their
+// ancestors) and the URL dimension (four urls, three domains, two domain
+// groups). Fact f is named "fact_<i>" as in the figures.
+func PaperMO() (*PaperObject, error) {
+	td := NewTimeDim()
+	ud := NewURLDim()
+
+	urls := make([]mdm.ValueID, len(PaperURLs))
+	for i, raw := range PaperURLs {
+		v, err := ud.EnsureURL(raw)
+		if err != nil {
+			return nil, err
+		}
+		urls[i] = v
+	}
+
+	schema, err := mdm.NewSchema("Click",
+		[]*mdm.Dimension{td.Dimension, ud.Dimension},
+		[]mdm.Measure{
+			{Name: "Number_of", Agg: mdm.AggSum},
+			{Name: "Dwell_time", Agg: mdm.AggSum},
+			{Name: "Delivery_time", Agg: mdm.AggSum},
+			{Name: "Datasize", Agg: mdm.AggSum},
+		})
+	if err != nil {
+		return nil, err
+	}
+	mo := mdm.NewMO(schema)
+	facts := make([]mdm.FactID, 0, len(paperFacts))
+	for _, pf := range paperFacts {
+		d, err := caltime.ParseDay(pf.day)
+		if err != nil {
+			return nil, err
+		}
+		dv := td.EnsureDay(d)
+		f, err := mo.AddFact([]mdm.ValueID{dv, urls[pf.url]},
+			[]float64{pf.numberOf, pf.dwell, pf.delivery, pf.sizeK})
+		if err != nil {
+			return nil, err
+		}
+		facts = append(facts, f)
+	}
+	return &PaperObject{MO: mo, Schema: schema, Time: td, URL: ud, Facts: facts}, nil
+}
+
+// MustPaperMO panics if PaperMO fails; the dataset is a compile-time
+// constant, so failure indicates a programming error.
+func MustPaperMO() *PaperObject {
+	p, err := PaperMO()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

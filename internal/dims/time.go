@@ -1,0 +1,329 @@
+// Package dims builds concrete dimensions for the data model: the
+// paper's Time dimension with its parallel week/month hierarchies, the
+// URL dimension of the ISP example, a generic linear hierarchy builder,
+// and the exact multidimensional object of Appendix A.
+package dims
+
+import (
+	"fmt"
+	"strings"
+
+	"dimred/internal/caltime"
+	"dimred/internal/mdm"
+)
+
+// TimeDim is the paper's Time dimension:
+//
+//	day <_Time month <_Time quarter <_Time year <_Time TOP
+//	day <_Time week  <_Time TOP
+//
+// Values are added sparsely: EnsureDay inserts one day and exactly the
+// ancestor periods it needs, so the dimension contains only the periods
+// the data references — as in the paper's Appendix A example, where
+// quarter 1999Q4 "consists of only 3 days".
+type TimeDim struct {
+	*mdm.Dimension
+	Day, Week, Month, Quarter, Year mdm.CategoryID
+
+	byPeriod map[caltime.Period]mdm.ValueID
+	min, max caltime.Day
+	any      bool
+}
+
+// NewTimeDim constructs the Time dimension schema with no values.
+func NewTimeDim() *TimeDim {
+	d := mdm.NewDimension("Time")
+	day := d.MustAddCategory("day", true)
+	week := d.MustAddCategory("week", true)
+	month := d.MustAddCategory("month", true)
+	quarter := d.MustAddCategory("quarter", true)
+	year := d.MustAddCategory("year", true)
+	mustContain(d, day, week)
+	mustContain(d, day, month)
+	mustContain(d, month, quarter)
+	mustContain(d, quarter, year)
+	d.MustFinalize()
+	return &TimeDim{
+		Dimension: d,
+		Day:       day, Week: week, Month: month, Quarter: quarter, Year: year,
+		byPeriod: make(map[caltime.Period]mdm.ValueID),
+	}
+}
+
+func mustContain(d *mdm.Dimension, lo, hi mdm.CategoryID) {
+	if err := d.Contains(lo, hi); err != nil {
+		panic(err)
+	}
+}
+
+// CategoryForUnit maps a calendar unit to the corresponding category.
+func (t *TimeDim) CategoryForUnit(u caltime.Unit) mdm.CategoryID {
+	switch u {
+	case caltime.UnitDay:
+		return t.Day
+	case caltime.UnitWeek:
+		return t.Week
+	case caltime.UnitMonth:
+		return t.Month
+	case caltime.UnitQuarter:
+		return t.Quarter
+	case caltime.UnitYear:
+		return t.Year
+	}
+	return mdm.NoCategory
+}
+
+// UnitForCategory maps a category of this dimension back to its calendar
+// unit; ok is false for the top category.
+func (t *TimeDim) UnitForCategory(c mdm.CategoryID) (caltime.Unit, bool) {
+	switch c {
+	case t.Day:
+		return caltime.UnitDay, true
+	case t.Week:
+		return caltime.UnitWeek, true
+	case t.Month:
+		return caltime.UnitMonth, true
+	case t.Quarter:
+		return caltime.UnitQuarter, true
+	case t.Year:
+		return caltime.UnitYear, true
+	}
+	return 0, false
+}
+
+// EnsureDay inserts (or finds) the value for day d, creating ancestor
+// week, month, quarter and year values as needed, and returns its id.
+func (t *TimeDim) EnsureDay(d caltime.Day) mdm.ValueID {
+	dp := caltime.PeriodOf(d, caltime.UnitDay)
+	if v, ok := t.byPeriod[dp]; ok {
+		return v
+	}
+	yearV := t.ensurePeriod(caltime.PeriodOf(d, caltime.UnitYear), nil)
+	quarterV := t.ensurePeriod(caltime.PeriodOf(d, caltime.UnitQuarter),
+		map[mdm.CategoryID]mdm.ValueID{t.Year: yearV})
+	monthV := t.ensurePeriod(caltime.PeriodOf(d, caltime.UnitMonth),
+		map[mdm.CategoryID]mdm.ValueID{t.Quarter: quarterV})
+	weekV := t.ensurePeriod(caltime.PeriodOf(d, caltime.UnitWeek), nil)
+	dayV := t.ensurePeriod(dp, map[mdm.CategoryID]mdm.ValueID{t.Week: weekV, t.Month: monthV})
+	if !t.any || d < t.min {
+		t.min = d
+	}
+	if !t.any || d > t.max {
+		t.max = d
+	}
+	t.any = true
+	return dayV
+}
+
+func (t *TimeDim) ensurePeriod(p caltime.Period, parents map[mdm.CategoryID]mdm.ValueID) mdm.ValueID {
+	if v, ok := t.byPeriod[p]; ok {
+		return v
+	}
+	v := t.MustAddValue(t.CategoryForUnit(p.Unit), p.String(), p.Index, parents)
+	t.byPeriod[p] = v
+	return v
+}
+
+// PeriodValue looks up the value for a period; ok is false if the period
+// was never inserted.
+func (t *TimeDim) PeriodValue(p caltime.Period) (mdm.ValueID, bool) {
+	v, ok := t.byPeriod[p]
+	return v, ok
+}
+
+// DayValue looks up the value for a day.
+func (t *TimeDim) DayValue(d caltime.Day) (mdm.ValueID, bool) {
+	return t.PeriodValue(caltime.PeriodOf(d, caltime.UnitDay))
+}
+
+// PeriodOfValue returns the calendar period a value of this dimension
+// denotes; ok is false for the top value.
+func (t *TimeDim) PeriodOfValue(v mdm.ValueID) (caltime.Period, bool) {
+	u, ok := t.UnitForCategory(t.CategoryOf(v))
+	if !ok {
+		return caltime.Period{}, false
+	}
+	return caltime.Period{Unit: u, Index: t.ValueOrd(v)}, true
+}
+
+// Range returns the smallest and largest day ever inserted; ok is false
+// when the dimension has no day values. The soundness decision procedure
+// uses this to bound its time horizon.
+func (t *TimeDim) Range() (min, max caltime.Day, ok bool) {
+	return t.min, t.max, t.any
+}
+
+// TimeDimFrom wraps an existing mdm.Dimension with the Time-dimension
+// calendar interpretation, rebuilding the period index from the stored
+// values. The dimension must have the five standard category names; it
+// is used when restoring a snapshot.
+func TimeDimFrom(d *mdm.Dimension) (*TimeDim, error) {
+	t := &TimeDim{Dimension: d, byPeriod: make(map[caltime.Period]mdm.ValueID)}
+	for name, dst := range map[string]*mdm.CategoryID{
+		"day": &t.Day, "week": &t.Week, "month": &t.Month,
+		"quarter": &t.Quarter, "year": &t.Year,
+	} {
+		c, ok := d.CategoryByName(name)
+		if !ok {
+			return nil, fmt.Errorf("dims: TimeDimFrom: dimension %s has no category %q", d.Name(), name)
+		}
+		*dst = c
+	}
+	for c := 0; c < d.NumCategories(); c++ {
+		cid := mdm.CategoryID(c)
+		u, ok := t.UnitForCategory(cid)
+		if !ok {
+			continue
+		}
+		for _, v := range d.ValuesIn(cid) {
+			p := caltime.Period{Unit: u, Index: d.ValueOrd(v)}
+			t.byPeriod[p] = v
+			if u == caltime.UnitDay {
+				day := caltime.Day(p.Index)
+				if !t.any || day < t.min {
+					t.min = day
+				}
+				if !t.any || day > t.max {
+					t.max = day
+				}
+				t.any = true
+			}
+		}
+	}
+	return t, nil
+}
+
+// URLDim is the ISP example's URL dimension:
+// url <_URL domain <_URL domain_grp <_URL TOP.
+type URLDim struct {
+	*mdm.Dimension
+	URL, Domain, Group mdm.CategoryID
+}
+
+// NewURLDim constructs the URL dimension schema with no values.
+func NewURLDim() *URLDim {
+	d := mdm.NewDimension("URL")
+	url := d.MustAddCategory("url", false)
+	dom := d.MustAddCategory("domain", false)
+	grp := d.MustAddCategory("domain_grp", false)
+	mustContain(d, url, dom)
+	mustContain(d, dom, grp)
+	d.MustFinalize()
+	return &URLDim{Dimension: d, URL: url, Domain: dom, Group: grp}
+}
+
+// SplitURL derives (domain, domain group) from a URL string the way the
+// Appendix A data does: strip the scheme and path, drop a leading "www."
+// style host label so "www.cnn.com/health" belongs to domain "cnn.com",
+// and let the final label give the domain group ".com".
+func SplitURL(raw string) (domain, group string, err error) {
+	host := raw
+	if i := strings.Index(host, "://"); i >= 0 {
+		host = host[i+3:]
+	}
+	if i := strings.IndexByte(host, '/'); i >= 0 {
+		host = host[:i]
+	}
+	host = strings.TrimSuffix(host, ".")
+	labels := strings.Split(host, ".")
+	if len(labels) < 2 || labels[len(labels)-1] == "" {
+		return "", "", fmt.Errorf("dims: cannot derive domain from URL %q", raw)
+	}
+	domain = strings.Join(labels[len(labels)-2:], ".")
+	group = "." + labels[len(labels)-1]
+	return domain, group, nil
+}
+
+// EnsureURL inserts (or finds) the value for a URL, creating its domain
+// and domain-group ancestors as needed.
+func (u *URLDim) EnsureURL(raw string) (mdm.ValueID, error) {
+	if v, ok := u.ValueByName(u.URL, raw); ok {
+		return v, nil
+	}
+	domain, group, err := SplitURL(raw)
+	if err != nil {
+		return mdm.NoValue, err
+	}
+	gv, ok := u.ValueByName(u.Group, group)
+	if !ok {
+		gv = u.MustAddValue(u.Group, group, 0, nil)
+	}
+	dv, ok := u.ValueByName(u.Domain, domain)
+	if !ok {
+		dv = u.MustAddValue(u.Domain, domain, 0, map[mdm.CategoryID]mdm.ValueID{u.Group: gv})
+	}
+	return u.AddValue(u.URL, raw, 0, map[mdm.CategoryID]mdm.ValueID{u.Domain: dv})
+}
+
+// MustEnsureURL panics if EnsureURL fails.
+func (u *URLDim) MustEnsureURL(raw string) mdm.ValueID {
+	v, err := u.EnsureURL(raw)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// LinearDim is a generic strictly linear hierarchy (bottom level first),
+// used by the retail example for dimensions such as
+// product < category < department.
+type LinearDim struct {
+	*mdm.Dimension
+	Levels []mdm.CategoryID // bottom first
+}
+
+// NewLinearDim constructs a linear dimension with the given level names,
+// bottom level first.
+func NewLinearDim(name string, levels ...string) (*LinearDim, error) {
+	if len(levels) == 0 {
+		return nil, fmt.Errorf("dims: linear dimension %s needs at least one level", name)
+	}
+	d := mdm.NewDimension(name)
+	ids := make([]mdm.CategoryID, len(levels))
+	for i, lv := range levels {
+		id, err := d.AddCategory(lv, false)
+		if err != nil {
+			return nil, err
+		}
+		ids[i] = id
+	}
+	for i := 0; i+1 < len(ids); i++ {
+		if err := d.Contains(ids[i], ids[i+1]); err != nil {
+			return nil, err
+		}
+	}
+	if err := d.Finalize(); err != nil {
+		return nil, err
+	}
+	return &LinearDim{Dimension: d, Levels: ids}, nil
+}
+
+// Ensure inserts (or finds) a leaf value given the full path of names,
+// bottom level first ("widget-17", "widgets", "hardware"), and returns
+// the leaf value id.
+func (l *LinearDim) Ensure(path ...string) (mdm.ValueID, error) {
+	if len(path) != len(l.Levels) {
+		return mdm.NoValue, fmt.Errorf("dims: %s.Ensure needs %d names, got %d", l.Name(), len(l.Levels), len(path))
+	}
+	parent := mdm.NoValue
+	for i := len(path) - 1; i >= 0; i-- {
+		cat := l.Levels[i]
+		v, ok := l.ValueByName(cat, path[i])
+		if !ok {
+			parents := map[mdm.CategoryID]mdm.ValueID{}
+			if parent != mdm.NoValue {
+				parents[l.Levels[i+1]] = parent
+			}
+			var err error
+			v, err = l.AddValue(cat, path[i], 0, parents)
+			if err != nil {
+				return mdm.NoValue, err
+			}
+		} else if parent != mdm.NoValue && l.AncestorAt(v, l.Levels[i+1]) != parent {
+			return mdm.NoValue, fmt.Errorf("dims: %s value %q already rolls up to %q, not %q",
+				l.Name(), path[i], l.ValueName(l.AncestorAt(v, l.Levels[i+1])), path[i+1])
+		}
+		parent = v
+	}
+	return parent, nil
+}

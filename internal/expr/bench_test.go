@@ -1,0 +1,28 @@
+package expr
+
+import "testing"
+
+const benchSrc = `aggregate [Time.month, URL.domain] where URL.domain_grp = ".com" and NOW - 12 months < Time.month and Time.month <= NOW - 6 months`
+
+func BenchmarkParseAction(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseAction(benchSrc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkToDNF(b *testing.B) {
+	p, err := ParsePred(`not (URL.a = "x" or not (URL.b = "y" and URL.c = "z")) and (URL.d = "w" or URL.e = "v")`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ToDNF(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,150 @@
+package expr
+
+import "fmt"
+
+// Disjunct is one conjunct list of a DNF predicate: the conjunction of
+// its atoms (each a TimeCmp, TimeIn, ValueCmp or ValueIn; Bool constants
+// are simplified away).
+type Disjunct []Pred
+
+// DNF is a predicate in disjunctive normal form: the disjunction of its
+// disjuncts. An empty DNF is the constant false; a DNF containing an
+// empty disjunct is (after simplification only occurs alone) the
+// constant true.
+type DNF struct {
+	Disjuncts []Disjunct
+}
+
+// IsFalse reports whether the DNF is the constant false.
+func (d DNF) IsFalse() bool { return len(d.Disjuncts) == 0 }
+
+// IsTrue reports whether the DNF is the constant true.
+func (d DNF) IsTrue() bool {
+	return len(d.Disjuncts) == 1 && len(d.Disjuncts[0]) == 0
+}
+
+// Pred converts the DNF back to a predicate tree.
+func (d DNF) Pred() Pred {
+	if d.IsFalse() {
+		return Bool{Value: false}
+	}
+	ors := make([]Pred, 0, len(d.Disjuncts))
+	for _, dj := range d.Disjuncts {
+		switch len(dj) {
+		case 0:
+			return Bool{Value: true}
+		case 1:
+			ors = append(ors, dj[0])
+		default:
+			ors = append(ors, And{Ps: append([]Pred(nil), dj...)})
+		}
+	}
+	if len(ors) == 1 {
+		return ors[0]
+	}
+	return Or{Ps: ors}
+}
+
+// String renders the DNF in concrete syntax.
+func (d DNF) String() string { return d.Pred().String() }
+
+// ToDNF normalizes a predicate to disjunctive normal form, as the paper
+// requires of selection predicates and as the pre-processing step of
+// Section 5.3 performs before the Growing check. Negations are pushed
+// onto atoms by complementing operators; double negations cancel.
+//
+// The transformation can grow exponentially in the nesting of and/or;
+// reduction specifications are small, so this is acceptable (and the
+// paper makes the same assumption for its |A|^2 NonCrossing check).
+func ToDNF(p Pred) (DNF, error) {
+	return toDNF(p, false)
+}
+
+func toDNF(p Pred, negate bool) (DNF, error) {
+	switch q := p.(type) {
+	case Bool:
+		v := q.Value != negate
+		if v {
+			return DNF{Disjuncts: []Disjunct{{}}}, nil
+		}
+		return DNF{}, nil
+	case Not:
+		return toDNF(q.P, !negate)
+	case And:
+		if negate {
+			// ¬(a ∧ b) = ¬a ∨ ¬b
+			return orDNF(q.Ps, true)
+		}
+		return andDNF(q.Ps, false)
+	case Or:
+		if negate {
+			// ¬(a ∨ b) = ¬a ∧ ¬b
+			return andDNF(q.Ps, true)
+		}
+		return orDNF(q.Ps, false)
+	case TimeCmp:
+		if negate {
+			q.Op = q.Op.Negate()
+		}
+		return DNF{Disjuncts: []Disjunct{{q}}}, nil
+	case TimeIn:
+		if negate {
+			q.Negate = !q.Negate
+		}
+		return DNF{Disjuncts: []Disjunct{{q}}}, nil
+	case ValueCmp:
+		if negate {
+			q.Op = q.Op.Negate()
+		}
+		return DNF{Disjuncts: []Disjunct{{q}}}, nil
+	case ValueIn:
+		if negate {
+			q.Negate = !q.Negate
+		}
+		return DNF{Disjuncts: []Disjunct{{q}}}, nil
+	case nil:
+		return DNF{}, fmt.Errorf("expr: ToDNF: nil predicate")
+	}
+	return DNF{}, fmt.Errorf("expr: ToDNF: unknown predicate type %T", p)
+}
+
+func orDNF(ps []Pred, negate bool) (DNF, error) {
+	var out DNF
+	for _, p := range ps {
+		d, err := toDNF(p, negate)
+		if err != nil {
+			return DNF{}, err
+		}
+		if d.IsTrue() {
+			return DNF{Disjuncts: []Disjunct{{}}}, nil
+		}
+		out.Disjuncts = append(out.Disjuncts, d.Disjuncts...)
+	}
+	return out, nil
+}
+
+func andDNF(ps []Pred, negate bool) (DNF, error) {
+	// Distribute: start from the single empty disjunct (true) and cross
+	// with each operand's DNF.
+	acc := []Disjunct{{}}
+	for _, p := range ps {
+		d, err := toDNF(p, negate)
+		if err != nil {
+			return DNF{}, err
+		}
+		if d.IsFalse() {
+			return DNF{}, nil
+		}
+		next := make([]Disjunct, 0, len(acc)*len(d.Disjuncts))
+		for _, a := range acc {
+			for _, b := range d.Disjuncts {
+				merged := make(Disjunct, 0, len(a)+len(b))
+				merged = append(merged, a...)
+				merged = append(merged, b...)
+				next = append(next, merged)
+			}
+		}
+		acc = next
+	}
+	return DNF{Disjuncts: acc}, nil
+}

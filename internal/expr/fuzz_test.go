@@ -1,0 +1,88 @@
+package expr
+
+import "testing"
+
+// FuzzParsePred checks the parser never panics and that accepted inputs
+// survive a print/re-parse round trip with stable rendering. Runs its
+// seed corpus under plain `go test`; use `go test -fuzz=FuzzParsePred`
+// for continuous fuzzing.
+func FuzzParsePred(f *testing.F) {
+	seeds := []string{
+		`true`,
+		`false`,
+		`URL.domain_grp = ".com" and NOW - 12 months < Time.month and Time.month <= NOW - 6 months`,
+		`Time.quarter in {1999Q4, 2000Q1}`,
+		`URL.domain not in {"a.com", "b.com"}`,
+		`not (Time.year = 1999) or Time.week <= 1999W48`,
+		`Time.month > NOW - 12 months + 1 day`,
+		`Time.day = 1999/12/4`,
+		`((true))`,
+		`Time.month <= 1999/12 and (URL.url != "x" or false)`,
+		// Hostile shapes.
+		`Time.month <`,
+		`"unclosed`,
+		`1999Q5 <= Time.quarter`,
+		`a.b = c.d`,
+		`not not not true`,
+		`Time.month in {}`,
+		`NOW < NOW`,
+		`Time.month <= NOW - 99999999999999999999 months`,
+		"Time.month \x00 1999",
+		`Time.month = 1999/2/30`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := ParsePred(src)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		rendered := p.String()
+		q, err := ParsePred(rendered)
+		if err != nil {
+			t.Fatalf("accepted %q but rendering %q fails to re-parse: %v", src, rendered, err)
+		}
+		if q.String() != rendered {
+			t.Fatalf("unstable rendering: %q -> %q", rendered, q.String())
+		}
+		// DNF must also round-trip through the predicate tree.
+		d, err := ToDNF(p)
+		if err != nil {
+			t.Fatalf("accepted %q but ToDNF fails: %v", src, err)
+		}
+		_ = d.Pred().String()
+	})
+}
+
+// FuzzParseAction does the same for full action specifications,
+// including the deletion form.
+func FuzzParseAction(f *testing.F) {
+	seeds := []string{
+		`aggregate [Time.month, URL.domain]`,
+		`aggregate [Time.month, URL.domain] where true`,
+		`aggregate [Time.quarter, URL.domain] where URL.domain_grp = ".com" and Time.quarter <= NOW - 4 quarters`,
+		`delete where Time.year <= NOW - 5 years`,
+		`delete`,
+		`aggregate []`,
+		`aggregate [Time.month`,
+		`delete where`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		a, err := ParseAction(src)
+		if err != nil {
+			return
+		}
+		rendered := a.String()
+		b, err := ParseAction(rendered)
+		if err != nil {
+			t.Fatalf("accepted %q but rendering %q fails to re-parse: %v", src, rendered, err)
+		}
+		if b.String() != rendered {
+			t.Fatalf("unstable rendering: %q -> %q", rendered, b.String())
+		}
+	})
+}

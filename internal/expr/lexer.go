@@ -1,0 +1,175 @@
+package expr
+
+import (
+	"fmt"
+	"strings"
+)
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumWord // starts with a digit; may contain digits, '/', 'W', 'Q'
+	tokString  // quoted value literal
+	tokPunct   // one of [ ] { } ( ) , .
+	tokOp      // < <= = != >= >
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+func (t token) String() string {
+	if t.kind == tokEOF {
+		return "end of input"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for {
+		l.skipSpace()
+		if l.pos >= len(l.src) {
+			l.emit(tokEOF, "")
+			return l.toks, nil
+		}
+		c := l.src[l.pos]
+		switch {
+		case c == '"' || c == '\'':
+			if err := l.lexString(c); err != nil {
+				return nil, err
+			}
+		case isDigit(c):
+			l.lexNumWord()
+		case isIdentStart(c):
+			l.lexIdent()
+		case strings.IndexByte("[]{}(),.", c) >= 0:
+			l.emit(tokPunct, string(c))
+			l.pos++
+		case c == '<':
+			if l.peek(1) == '=' {
+				l.emit(tokOp, "<=")
+				l.pos += 2
+			} else if l.peek(1) == '>' {
+				l.emit(tokOp, "!=")
+				l.pos += 2
+			} else {
+				l.emit(tokOp, "<")
+				l.pos++
+			}
+		case c == '>':
+			if l.peek(1) == '=' {
+				l.emit(tokOp, ">=")
+				l.pos += 2
+			} else {
+				l.emit(tokOp, ">")
+				l.pos++
+			}
+		case c == '=':
+			if l.peek(1) == '=' {
+				l.pos++ // tolerate "=="
+			}
+			l.emit(tokOp, "=")
+			l.pos++
+		case c == '!':
+			if l.peek(1) != '=' {
+				return nil, fmt.Errorf("expr: lex: stray '!' at offset %d", l.pos)
+			}
+			l.emit(tokOp, "!=")
+			l.pos += 2
+		case c == '+':
+			l.emit(tokOp, "+")
+			l.pos++
+		case c == '-':
+			l.emit(tokOp, "-")
+			l.pos++
+		default:
+			return nil, fmt.Errorf("expr: lex: unexpected character %q at offset %d", c, l.pos)
+		}
+	}
+}
+
+func (l *lexer) emit(k tokKind, text string) {
+	l.toks = append(l.toks, token{kind: k, text: text, pos: l.pos})
+}
+
+func (l *lexer) peek(ahead int) byte {
+	if l.pos+ahead >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos+ahead]
+}
+
+func (l *lexer) skipSpace() {
+	for l.pos < len(l.src) {
+		switch l.src[l.pos] {
+		case ' ', '\t', '\n', '\r':
+			l.pos++
+		default:
+			return
+		}
+	}
+}
+
+func isDigit(c byte) bool      { return c >= '0' && c <= '9' }
+func isIdentStart(c byte) bool { return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') }
+func isIdentPart(c byte) bool  { return isIdentStart(c) || isDigit(c) }
+
+func (l *lexer) lexString(quote byte) error {
+	start := l.pos
+	l.pos++
+	var b strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == quote {
+			l.toks = append(l.toks, token{kind: tokString, text: b.String(), pos: start})
+			l.pos++
+			return nil
+		}
+		if c == '\\' && l.pos+1 < len(l.src) {
+			l.pos++
+			c = l.src[l.pos]
+		}
+		b.WriteByte(c)
+		l.pos++
+	}
+	return fmt.Errorf("expr: lex: unterminated string at offset %d", start)
+}
+
+// lexNumWord scans a token beginning with a digit: a plain number ("6"),
+// or a time literal ("1999", "1999/12", "1999/12/4", "1999W48", "1999Q4").
+func (l *lexer) lexNumWord() {
+	start := l.pos
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if isDigit(c) || c == '/' {
+			l.pos++
+			continue
+		}
+		// W and Q join week/quarter literals only when followed by a digit.
+		if (c == 'W' || c == 'Q') && l.pos+1 < len(l.src) && isDigit(l.src[l.pos+1]) {
+			l.pos++
+			continue
+		}
+		break
+	}
+	l.toks = append(l.toks, token{kind: tokNumWord, text: l.src[start:l.pos], pos: start})
+}
+
+func (l *lexer) lexIdent() {
+	start := l.pos
+	for l.pos < len(l.src) && isIdentPart(l.src[l.pos]) {
+		l.pos++
+	}
+	l.toks = append(l.toks, token{kind: tokIdent, text: l.src[start:l.pos], pos: start})
+}

@@ -1,0 +1,83 @@
+package mdm
+
+import (
+	"fmt"
+	"testing"
+)
+
+// benchDim builds a 3-level dimension with fan-out 10 at each level.
+func benchDim(b *testing.B) (*Dimension, []ValueID) {
+	b.Helper()
+	d := NewDimension("D")
+	leaf := d.MustAddCategory("leaf", false)
+	mid := d.MustAddCategory("mid", false)
+	top := d.MustAddCategory("grp", false)
+	if err := d.Contains(leaf, mid); err != nil {
+		b.Fatal(err)
+	}
+	if err := d.Contains(mid, top); err != nil {
+		b.Fatal(err)
+	}
+	d.MustFinalize()
+	var leaves []ValueID
+	for g := 0; g < 10; g++ {
+		gv := d.MustAddValue(top, fmt.Sprintf("g%d", g), 0, nil)
+		for m := 0; m < 10; m++ {
+			mv := d.MustAddValue(mid, fmt.Sprintf("m%d-%d", g, m), 0, map[CategoryID]ValueID{top: gv})
+			for l := 0; l < 10; l++ {
+				leaves = append(leaves, d.MustAddValue(leaf, fmt.Sprintf("l%d-%d-%d", g, m, l), 0, map[CategoryID]ValueID{mid: mv}))
+			}
+		}
+	}
+	return d, leaves
+}
+
+func BenchmarkAncestorAt(b *testing.B) {
+	d, leaves := benchDim(b)
+	grp, _ := d.CategoryByName("grp")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = d.AncestorAt(leaves[i%len(leaves)], grp)
+	}
+}
+
+func BenchmarkDrillDown(b *testing.B) {
+	d, _ := benchDim(b)
+	grp, _ := d.CategoryByName("grp")
+	leaf, _ := d.CategoryByName("leaf")
+	g0 := d.ValuesIn(grp)[0]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = d.DrillDown(g0, leaf)
+	}
+}
+
+func BenchmarkValueLE(b *testing.B) {
+	d, leaves := benchDim(b)
+	grp, _ := d.CategoryByName("grp")
+	g0 := d.ValuesIn(grp)[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = d.ValueLE(leaves[i%len(leaves)], g0)
+	}
+}
+
+func BenchmarkAddFact(b *testing.B) {
+	d, leaves := benchDim(b)
+	schema, err := NewSchema("F", []*Dimension{d}, []Measure{{Name: "m", Agg: AggSum}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	mo := NewMO(schema)
+	refs := []ValueID{leaves[0]}
+	meas := []float64{1}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		refs[0] = leaves[i%len(leaves)]
+		if _, err := mo.AddFact(refs, meas); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

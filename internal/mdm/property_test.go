@@ -1,0 +1,219 @@
+package mdm
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// randomDimension builds a random layered hierarchy: `levels` category
+// layers with random fan-in edges between adjacent layers (each layer-k
+// category contains each layer-(k-1) category with probability p, and at
+// least the designated spine), a single bottom, and random values whose
+// parents respect the containment edges.
+func randomDimension(t *testing.T, rng *rand.Rand, levels, perLevel, leaves int) *Dimension {
+	t.Helper()
+	d := NewDimension("R")
+	cats := make([][]CategoryID, levels)
+	// Layer 0 is the single bottom category.
+	cats[0] = []CategoryID{d.MustAddCategory("bottom", true)}
+	for l := 1; l < levels; l++ {
+		for k := 0; k < perLevel; k++ {
+			cats[l] = append(cats[l], d.MustAddCategory(fmt.Sprintf("c%d_%d", l, k), false))
+		}
+	}
+	// Edges: every category (except the top layer) gets at least one
+	// parent in the next layer; extra edges with probability 1/3.
+	type edge struct{ lo, hi CategoryID }
+	var edges []edge
+	for l := 0; l+1 < levels; l++ {
+		covered := make(map[CategoryID]bool)
+		for _, c := range cats[l] {
+			spine := cats[l+1][rng.Intn(len(cats[l+1]))]
+			edges = append(edges, edge{c, spine})
+			covered[spine] = true
+			for _, up := range cats[l+1] {
+				if up != spine && rng.Intn(3) == 0 {
+					edges = append(edges, edge{c, up})
+					covered[up] = true
+				}
+			}
+		}
+		// Every upper category must contain something from below, or it
+		// would not be above the bottom (the model requires a unique
+		// bottom below every category).
+		for _, up := range cats[l+1] {
+			if !covered[up] {
+				edges = append(edges, edge{cats[l][rng.Intn(len(cats[l]))], up})
+			}
+		}
+	}
+	for _, e := range edges {
+		if err := d.Contains(e.lo, e.hi); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d.MustFinalize()
+
+	// Values: one value per non-bottom category per "branch", then
+	// leaves with consistent parents. To keep the containment mapping
+	// functional, each category holds `branches` values and a leaf picks
+	// one branch per upward path; consistency requires choosing parents
+	// that agree at shared ancestors, so we simply give every non-bottom
+	// category exactly ONE value — any leaf parent assignment is then
+	// automatically consistent.
+	valueOf := make(map[CategoryID]ValueID)
+	for l := levels - 1; l >= 1; l-- {
+		for _, c := range cats[l] {
+			parents := map[CategoryID]ValueID{}
+			for _, up := range d.Anc(c) {
+				if up == d.Top() {
+					continue
+				}
+				parents[up] = valueOf[up]
+			}
+			valueOf[c] = d.MustAddValue(c, fmt.Sprintf("v_%s", d.Category(c).Name), 0, parents)
+		}
+	}
+	bottom := cats[0][0]
+	for i := 0; i < leaves; i++ {
+		parents := map[CategoryID]ValueID{}
+		for _, up := range d.Anc(bottom) {
+			if up == d.Top() {
+				continue
+			}
+			parents[up] = valueOf[up]
+		}
+		d.MustAddValue(bottom, fmt.Sprintf("leaf%d", i), int64(i), parents)
+	}
+	return d
+}
+
+// TestRandomHierarchyInvariants validates the structural laws of the
+// dimension model over randomized category DAGs:
+//
+//   - <=_T is a partial order with unique bottom and top;
+//   - GLB is a greatest lower bound for every pair;
+//   - AncestorAt agrees with ValueLE;
+//   - DrillDown and AncestorAt form an adjunction;
+//   - the subdimension over any retained subset preserves roll-ups.
+func TestRandomHierarchyInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(2024))
+	for trial := 0; trial < 12; trial++ {
+		levels := 2 + rng.Intn(3)
+		d := randomDimension(t, rng, levels, 1+rng.Intn(3), 4+rng.Intn(6))
+		n := d.NumCategories()
+
+		// Partial order laws.
+		for a := 0; a < n; a++ {
+			ca := CategoryID(a)
+			if !d.CatLE(ca, ca) {
+				t.Fatal("reflexivity broken")
+			}
+			if !d.CatLE(d.Bottom(), ca) || !d.CatLE(ca, d.Top()) {
+				t.Fatal("bottom/top law broken")
+			}
+			for b := 0; b < n; b++ {
+				cb := CategoryID(b)
+				if a != b && d.CatLE(ca, cb) && d.CatLE(cb, ca) {
+					t.Fatal("antisymmetry broken")
+				}
+				for c := 0; c < n; c++ {
+					cc := CategoryID(c)
+					if d.CatLE(ca, cb) && d.CatLE(cb, cc) && !d.CatLE(ca, cc) {
+						t.Fatal("transitivity broken")
+					}
+				}
+				// GLB law: a lower bound, and maximal among lower bounds
+				// (the greatest one when the order is a lattice; random
+				// DAGs need not be lattices, and the paper accepts "any
+				// lower bound" there).
+				g := d.GLB(ca, cb)
+				if !d.CatLE(g, ca) || !d.CatLE(g, cb) {
+					t.Fatal("GLB not a lower bound")
+				}
+				for c := 0; c < n; c++ {
+					cc := CategoryID(c)
+					if cc != g && d.CatLE(cc, ca) && d.CatLE(cc, cb) && d.CatLE(g, cc) {
+						t.Fatalf("GLB not maximal (trial %d)", trial)
+					}
+				}
+			}
+		}
+
+		// Value laws over every (value, category) pair.
+		for v := 0; v < d.NumValues(); v++ {
+			vid := ValueID(v)
+			for c := 0; c < n; c++ {
+				cid := CategoryID(c)
+				anc := d.AncestorAt(vid, cid)
+				if d.CatLE(d.CategoryOf(vid), cid) && anc == NoValue {
+					t.Fatalf("trial %d: no ancestor at a category above", trial)
+				}
+				if anc != NoValue {
+					if !d.ValueLE(vid, anc) {
+						t.Fatal("AncestorAt result not a container")
+					}
+					// Adjunction: v in DrillDown(anc, cat(v)).
+					found := false
+					for _, w := range d.DrillDown(anc, d.CategoryOf(vid)) {
+						if w == vid {
+							found = true
+						}
+					}
+					if !found {
+						t.Fatal("adjunction broken")
+					}
+				}
+			}
+		}
+
+		// Subdimension keeping a random non-empty category subset.
+		var keep []string
+		for c := 0; c < n; c++ {
+			cid := CategoryID(c)
+			if cid != d.Top() && rng.Intn(2) == 0 {
+				keep = append(keep, d.Category(cid).Name)
+			}
+		}
+		if len(keep) == 0 {
+			keep = append(keep, d.Category(d.Bottom()).Name)
+		}
+		// The subset must have a unique bottom to be a dimension; ensure
+		// it by always retaining the bottom category.
+		keep = append(keep, d.Category(d.Bottom()).Name)
+		sub, err := d.Subdimension(keep...)
+		if err != nil {
+			t.Fatalf("trial %d: subdimension: %v", trial, err)
+		}
+		// Roll-ups within the subdimension agree with the original.
+		for _, name := range keep {
+			oc, _ := d.CategoryByName(name)
+			sc, ok := sub.CategoryByName(name)
+			if !ok {
+				t.Fatal("category lost")
+			}
+			for _, sv := range sub.ValuesIn(sc) {
+				ov, ok := d.ValueByName(oc, sub.ValueName(sv))
+				if !ok {
+					t.Fatal("value lost")
+				}
+				for _, upName := range keep {
+					ouc, _ := d.CategoryByName(upName)
+					suc, _ := sub.CategoryByName(upName)
+					oa := d.AncestorAt(ov, ouc)
+					sa := sub.AncestorAt(sv, suc)
+					switch {
+					case oa == NoValue && sa == NoValue:
+					case oa != NoValue && sa != NoValue:
+						if d.ValueName(oa) != sub.ValueName(sa) {
+							t.Fatalf("trial %d: subdimension roll-up diverges", trial)
+						}
+					default:
+						t.Fatalf("trial %d: subdimension reachability diverges", trial)
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,240 @@
+package mdm
+
+import (
+	"fmt"
+	"strings"
+)
+
+// AggKind is a distributive default aggregate function for a measure. The
+// paper requires default aggregate functions to be distributive so that
+// reduction (and the two-step combination of subcube query results) can
+// aggregate repeatedly without error.
+type AggKind int
+
+const (
+	AggSum AggKind = iota
+	AggCount
+	AggMin
+	AggMax
+)
+
+var aggNames = [...]string{"SUM", "COUNT", "MIN", "MAX"}
+
+// String returns the function name, e.g. "SUM".
+func (a AggKind) String() string {
+	if a < AggSum || a > AggMax {
+		return fmt.Sprintf("AggKind(%d)", int(a))
+	}
+	return aggNames[a]
+}
+
+// Init lifts a base measure value into the aggregate domain: COUNT of a
+// single fact is 1, every other function starts from the value itself.
+func (a AggKind) Init(x float64) float64 {
+	if a == AggCount {
+		return 1
+	}
+	return x
+}
+
+// Merge combines two partial aggregates. Distributivity means repeated
+// merging in any association order yields the same result, which the
+// property tests verify.
+func (a AggKind) Merge(x, y float64) float64 {
+	switch a {
+	case AggSum, AggCount:
+		return x + y
+	case AggMin:
+		if y < x {
+			return y
+		}
+		return x
+	case AggMax:
+		if y > x {
+			return y
+		}
+		return x
+	}
+	panic(fmt.Sprintf("mdm: Merge: bad AggKind %d", a))
+}
+
+// Measure is a measure type: a name plus its default aggregate function.
+type Measure struct {
+	Name string
+	Agg  AggKind
+}
+
+// Schema is an n-dimensional fact schema S = (F, D, M): a fact type name,
+// dimension types (here carried by the Dimension instances) and measure
+// types.
+type Schema struct {
+	FactType string
+	Dims     []*Dimension
+	Measures []Measure
+}
+
+// NewSchema builds a schema after validating that all dimensions are
+// finalized and names are unique.
+func NewSchema(factType string, dims []*Dimension, measures []Measure) (*Schema, error) {
+	if factType == "" {
+		return nil, fmt.Errorf("mdm: schema: empty fact type")
+	}
+	if len(dims) == 0 {
+		return nil, fmt.Errorf("mdm: schema: no dimensions")
+	}
+	seen := make(map[string]bool)
+	for _, d := range dims {
+		if d == nil || !d.Finalized() {
+			return nil, fmt.Errorf("mdm: schema: dimension not finalized")
+		}
+		if seen[d.Name()] {
+			return nil, fmt.Errorf("mdm: schema: duplicate dimension %q", d.Name())
+		}
+		seen[d.Name()] = true
+	}
+	mseen := make(map[string]bool)
+	for _, m := range measures {
+		if m.Name == "" {
+			return nil, fmt.Errorf("mdm: schema: empty measure name")
+		}
+		if mseen[m.Name] {
+			return nil, fmt.Errorf("mdm: schema: duplicate measure %q", m.Name)
+		}
+		mseen[m.Name] = true
+	}
+	return &Schema{FactType: factType, Dims: dims, Measures: measures}, nil
+}
+
+// NumDims returns the number of dimensions n.
+func (s *Schema) NumDims() int { return len(s.Dims) }
+
+// DimIndex resolves a dimension by name; -1 when absent.
+func (s *Schema) DimIndex(name string) int {
+	for i, d := range s.Dims {
+		if d.Name() == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// MeasureIndex resolves a measure by name; -1 when absent.
+func (s *Schema) MeasureIndex(name string) int {
+	for i, m := range s.Measures {
+		if m.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Granularity is an n-tuple of categories, one per dimension, e.g.
+// (Time.quarter, URL.domain). It is the "level of detail" of a fact.
+type Granularity []CategoryID
+
+// GranLE reports g1 <=_g g2 pointwise (Eq. 6). Both granularities must
+// have one category per schema dimension.
+func (s *Schema) GranLE(g1, g2 Granularity) bool {
+	for i := range s.Dims {
+		if !s.Dims[i].CatLE(g1[i], g2[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// GranEq reports pointwise equality.
+func (s *Schema) GranEq(g1, g2 Granularity) bool {
+	for i := range g1 {
+		if g1[i] != g2[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// BottomGranularity returns the tuple of bottom categories.
+func (s *Schema) BottomGranularity() Granularity {
+	g := make(Granularity, len(s.Dims))
+	for i, d := range s.Dims {
+		g[i] = d.Bottom()
+	}
+	return g
+}
+
+// MaxGranularity returns the maximum of a non-empty set of granularities
+// under <=_g (the function max_{<=_g} of Section 4.2). It fails if the
+// set has no maximum, which a NonCrossing specification never produces.
+func (s *Schema) MaxGranularity(gs []Granularity) (Granularity, error) {
+	if len(gs) == 0 {
+		return nil, fmt.Errorf("mdm: MaxGranularity of empty set")
+	}
+	// One pass picks the maximum if one exists (when the true maximum M is
+	// reached, best <=_g M holds, so best becomes M and never changes
+	// afterwards); a verification pass detects sets with no maximum.
+	best := gs[0]
+	for _, g := range gs[1:] {
+		if s.GranLE(best, g) {
+			best = g
+		}
+	}
+	for _, g := range gs {
+		if !s.GranLE(g, best) {
+			return nil, fmt.Errorf("mdm: granularity set has no maximum: %s and %s are incomparable",
+				s.GranString(g), s.GranString(best))
+		}
+	}
+	return best, nil
+}
+
+// GranString renders a granularity as the paper writes it, e.g.
+// "(Time.quarter, URL.domain)".
+func (s *Schema) GranString(g Granularity) string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, d := range s.Dims {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(d.Name())
+		b.WriteByte('.')
+		b.WriteString(d.Category(g[i]).Name)
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// ParseGranularity resolves "Time.month, URL.domain"-style category
+// references, one per dimension, in dimension order.
+func (s *Schema) ParseGranularity(refs []string) (Granularity, error) {
+	if len(refs) != len(s.Dims) {
+		return nil, fmt.Errorf("mdm: granularity needs %d categories, got %d", len(s.Dims), len(refs))
+	}
+	g := make(Granularity, len(s.Dims))
+	used := make([]bool, len(s.Dims))
+	for _, ref := range refs {
+		dot := strings.IndexByte(ref, '.')
+		if dot < 0 {
+			return nil, fmt.Errorf("mdm: category reference %q must be Dim.category", ref)
+		}
+		di := s.DimIndex(strings.TrimSpace(ref[:dot]))
+		if di < 0 {
+			return nil, fmt.Errorf("mdm: unknown dimension in %q", ref)
+		}
+		if used[di] {
+			return nil, fmt.Errorf("mdm: duplicate dimension in granularity: %q", ref)
+		}
+		c, ok := s.Dims[di].CategoryByName(strings.TrimSpace(ref[dot+1:]))
+		if !ok {
+			return nil, fmt.Errorf("mdm: unknown category in %q", ref)
+		}
+		g[di] = c
+		used[di] = true
+	}
+	for i, u := range used {
+		if !u {
+			return nil, fmt.Errorf("mdm: granularity missing a category for dimension %s", s.Dims[i].Name())
+		}
+	}
+	return g, nil
+}

@@ -1,0 +1,44 @@
+package prover
+
+import (
+	"testing"
+
+	"dimred/internal/caltime"
+	"dimred/internal/expr"
+)
+
+func benchHorizon() Horizon {
+	return Horizon{Min: caltime.Date(1999, 1, 1), Max: caltime.Date(2001, 12, 31), MaxOffset: 400}
+}
+
+func BenchmarkTimeAtomDaysAt(b *testing.B) {
+	hz := benchHorizon()
+	atom := TimeAtom{
+		Unit:  caltime.UnitMonth,
+		Op:    expr.OpLE,
+		Exprs: []caltime.Expr{caltime.NowExpr().Minus(caltime.Span{N: 6, Unit: caltime.UnitMonth})},
+	}
+	now := caltime.Date(2000, 11, 5)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = atom.DaysAt(now, hz)
+	}
+}
+
+func BenchmarkOverlapsSweep(b *testing.B) {
+	hz := benchHorizon()
+	mk := func(lo, hi int64) Region {
+		return Region{Dims: []DimConstraint{{IsTime: true, Time: []TimeAtom{
+			{Unit: caltime.UnitMonth, Op: expr.OpGT, Exprs: []caltime.Expr{caltime.NowExpr().Minus(caltime.Span{N: lo, Unit: caltime.UnitMonth})}},
+			{Unit: caltime.UnitMonth, Op: expr.OpLE, Exprs: []caltime.Expr{caltime.NowExpr().Minus(caltime.Span{N: hi, Unit: caltime.UnitMonth})}},
+		}}, {Fixed: nil}}}
+	}
+	a, c := mk(12, 6), mk(24, 12)
+	universes := []int{0, 4}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if ok, _ := Overlaps(a, c, hz, universes); ok {
+			b.Fatal("abutting windows should not overlap")
+		}
+	}
+}

@@ -1,0 +1,398 @@
+package query
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"dimred/internal/mdm"
+)
+
+// AggApproach selects how aggregate formation treats facts whose
+// granularity is already above the requested level (Section 6.3).
+type AggApproach int
+
+const (
+	// Availability returns each fact at the finest available granularity
+	// at or above the requested one — the paper's default ("the most
+	// detailed answer that is still guaranteed to be correct").
+	Availability AggApproach = iota
+	// Strict considers only facts at or below the requested granularity.
+	Strict
+	// LUB aggregates everything to the finest common granularity that is
+	// at or above the requested one and available for all facts.
+	LUB
+	// Disaggregated forces the requested granularity, splitting coarse
+	// SUM measures evenly over their populated drill-down cells
+	// (imprecise, as the paper notes, citing Dyreson).
+	Disaggregated
+)
+
+var aggApproachNames = [...]string{"availability", "strict", "LUB", "disaggregated"}
+
+// String returns the approach name.
+func (a AggApproach) String() string {
+	if a < Availability || a > Disaggregated {
+		return fmt.Sprintf("AggApproach(%d)", int(a))
+	}
+	return aggApproachNames[a]
+}
+
+// Project is the projection operator π (Eq. 37): it retains the named
+// dimensions and measures. The fact set is unchanged — duplicates are
+// not removed, as in regular star schemas.
+func Project(mo *mdm.MO, dimNames, measureNames []string) (*mdm.MO, error) {
+	schema := mo.Schema()
+	var dims []*mdm.Dimension
+	var dimIdx []int
+	for _, n := range dimNames {
+		i := schema.DimIndex(n)
+		if i < 0 {
+			return nil, fmt.Errorf("query: Project: unknown dimension %q", n)
+		}
+		dims = append(dims, schema.Dims[i])
+		dimIdx = append(dimIdx, i)
+	}
+	var meas []mdm.Measure
+	var measIdx []int
+	for _, n := range measureNames {
+		j := schema.MeasureIndex(n)
+		if j < 0 {
+			return nil, fmt.Errorf("query: Project: unknown measure %q", n)
+		}
+		meas = append(meas, schema.Measures[j])
+		measIdx = append(measIdx, j)
+	}
+	outSchema, err := mdm.NewSchema(schema.FactType, dims, meas)
+	if err != nil {
+		return nil, fmt.Errorf("query: Project: %w", err)
+	}
+	out := mdm.NewMO(outSchema)
+	floors := make(mdm.Granularity, len(dimIdx))
+	for k, i := range dimIdx {
+		floors[k] = mo.Floors()[i]
+	}
+	out.SetFloors(floors)
+	for f := 0; f < mo.Len(); f++ {
+		fid := mdm.FactID(f)
+		refs := make([]mdm.ValueID, len(dimIdx))
+		for k, i := range dimIdx {
+			refs[k] = mo.Ref(fid, i)
+		}
+		ms := make([]float64, len(measIdx))
+		for k, j := range measIdx {
+			ms[k] = mo.Measure(fid, j)
+		}
+		if _, err := out.AddFactAt(refs, ms, mo.BaseCount(fid), mo.Name(fid)); err != nil {
+			return nil, fmt.Errorf("query: Project: %w", err)
+		}
+	}
+	return out, nil
+}
+
+// GroupHigh implements Group_high (Eq. 38): the facts characterized by
+// every value of the cell, where values above the requested granularity
+// must additionally be mapped to directly (so a fact is aggregated into
+// exactly one group).
+func GroupHigh(mo *mdm.MO, cell []mdm.ValueID, target mdm.Granularity) []mdm.FactID {
+	schema := mo.Schema()
+	var out []mdm.FactID
+	for f := 0; f < mo.Len(); f++ {
+		fid := mdm.FactID(f)
+		match := true
+		for i, d := range schema.Dims {
+			vc := d.CategoryOf(cell[i])
+			if d.CatLE(vc, target[i]) && vc != target[i] {
+				match = false // cell below the requested granularity
+				break
+			}
+			if vc == target[i] {
+				if !mo.CharacterizedBy(fid, i, cell[i]) {
+					match = false
+					break
+				}
+			} else {
+				// Higher than requested: direct mapping required.
+				if mo.Ref(fid, i) != cell[i] {
+					match = false
+					break
+				}
+			}
+		}
+		if match {
+			out = append(out, fid)
+		}
+	}
+	return out
+}
+
+// Aggregate is the aggregate formation operator α[C1,...,Cn](O)
+// (Definition 6) at the requested granularity under the given approach.
+// Each result fact's measures are folded with the measures' default
+// aggregate functions. The result MO keeps the schema and dimensions;
+// its insert floors are raised to the result granularity (the formal
+// definition restricts the schema to a subdimension, which
+// mdm.Dimension.Subdimension materializes for callers that need it).
+func Aggregate(mo *mdm.MO, target mdm.Granularity, approach AggApproach) (*mdm.MO, error) {
+	schema := mo.Schema()
+	if len(target) != len(schema.Dims) {
+		return nil, fmt.Errorf("query: Aggregate: granularity needs %d categories", len(schema.Dims))
+	}
+	switch approach {
+	case Availability, Strict, LUB, Disaggregated:
+	default:
+		return nil, fmt.Errorf("query: Aggregate: unknown approach %d", approach)
+	}
+
+	effTarget := target
+	if approach == LUB {
+		// Finest common granularity >= target available for all facts.
+		eff := append(mdm.Granularity(nil), target...)
+		for f := 0; f < mo.Len(); f++ {
+			g := mo.Gran(mdm.FactID(f))
+			for i, d := range schema.Dims {
+				if !d.CatLE(g[i], eff[i]) {
+					// Raise eff[i] to an upper bound of both. For the
+					// category orders in this model the least upper
+					// bound is the lowest category above both.
+					eff[i] = leastUpper(d, eff[i], g[i])
+				}
+			}
+		}
+		effTarget = eff
+	}
+
+	type group struct {
+		cell    []mdm.ValueID
+		meas    []float64
+		base    int64
+		sources []string
+	}
+	groups := make(map[string]*group)
+	var order []string
+	var keyBuf []byte
+
+	addTo := func(cell []mdm.ValueID, fid mdm.FactID, scale float64) {
+		keyBuf = keyBuf[:0]
+		for _, v := range cell {
+			keyBuf = append(keyBuf, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+		}
+		key := string(keyBuf)
+		g, ok := groups[key]
+		if !ok {
+			g = &group{cell: append([]mdm.ValueID(nil), cell...), meas: make([]float64, len(schema.Measures))}
+			for j := range schema.Measures {
+				g.meas[j] = scaledInit(schema.Measures[j].Agg, mo, fid, j, scale)
+			}
+			g.base = mo.BaseCount(fid)
+			g.sources = append(g.sources, mo.Name(fid))
+			groups[key] = g
+			order = append(order, key)
+			return
+		}
+		for j := range schema.Measures {
+			agg := schema.Measures[j].Agg
+			g.meas[j] = agg.Merge(g.meas[j], scaledInit(agg, mo, fid, j, scale))
+		}
+		g.base += mo.BaseCount(fid)
+		g.sources = append(g.sources, mo.Name(fid))
+	}
+
+	for f := 0; f < mo.Len(); f++ {
+		fid := mdm.FactID(f)
+		gran := mo.Gran(fid)
+		cell := make([]mdm.ValueID, len(schema.Dims))
+		above := false // some dimension is above the requested level
+		ok := true
+		for i, d := range schema.Dims {
+			switch {
+			case d.CatLE(gran[i], effTarget[i]):
+				cell[i] = d.AncestorAt(mo.Ref(fid, i), effTarget[i])
+				if cell[i] == mdm.NoValue {
+					ok = false
+				}
+			default:
+				// The category is above or parallel to the requested one.
+				// Figure 8's evaluation rolls a week-granularity fact up
+				// to the month level because all its populated days lie
+				// in one month: when the drill-down reaches a unique
+				// ancestor at the requested category, the roll-up is
+				// unambiguous and the fact attains the requested
+				// granularity; otherwise it keeps its own value
+				// (availability semantics).
+				if u, uok := unambiguousRollUp(d, mo.Ref(fid, i), effTarget[i]); uok {
+					cell[i] = u
+					continue
+				}
+				above = true
+				cell[i] = mo.Ref(fid, i)
+			}
+		}
+		if !ok {
+			return nil, fmt.Errorf("query: Aggregate: fact %s has no ancestor at the requested granularity", mo.Name(fid))
+		}
+		switch approach {
+		case Strict:
+			if above {
+				continue // drop facts coarser than requested
+			}
+			addTo(cell, fid, 1)
+		case Availability, LUB:
+			// LUB's effTarget dominates every fact, so above is false.
+			addTo(cell, fid, 1)
+		case Disaggregated:
+			if !above {
+				addTo(cell, fid, 1)
+				continue
+			}
+			disaggregate(mo, fid, cell, effTarget, addTo)
+		}
+	}
+
+	out := mdm.NewMO(schema)
+	out.SetFloors(effTarget)
+	for _, key := range order {
+		g := groups[key]
+		if _, err := out.AddFactAt(g.cell, g.meas, g.base, mergedName(g.sources)); err != nil {
+			return nil, fmt.Errorf("query: Aggregate: %w", err)
+		}
+	}
+	return out, nil
+}
+
+// AggregateWeighted folds a weighted selection result (from
+// SelectWeighted) to the target granularity: each fact's SUM and COUNT
+// contributions are scaled by its certainty weight, yielding expected
+// values under the weighted approach of Section 6.1. MIN/MAX measures
+// are aggregated unscaled (extrema have no meaningful expectation under
+// even weighting). weights must align with mo's fact ids.
+func AggregateWeighted(mo *mdm.MO, weights []float64, target mdm.Granularity, approach AggApproach) (*mdm.MO, error) {
+	if len(weights) != mo.Len() {
+		return nil, fmt.Errorf("query: AggregateWeighted: %d weights for %d facts", len(weights), mo.Len())
+	}
+	// Scale a copy's SUM measures by the weights, then aggregate
+	// normally. COUNT cannot be pre-scaled through BaseCount (integral),
+	// so COUNT measures lose fractional weighting here; the conservative
+	// and liberal approaches bound the exact answer.
+	scaled := mo.Clone()
+	schema := mo.Schema()
+	for f := 0; f < scaled.Len(); f++ {
+		fid := mdm.FactID(f)
+		for j, m := range schema.Measures {
+			if m.Agg == mdm.AggSum {
+				scaled.SetMeasure(fid, j, scaled.Measure(fid, j)*weights[f])
+			}
+		}
+	}
+	return Aggregate(scaled, target, approach)
+}
+
+// scaledInit lifts a base measure into the aggregate domain, scaling SUM
+// and COUNT measures for disaggregation shares.
+func scaledInit(agg mdm.AggKind, mo *mdm.MO, fid mdm.FactID, j int, scale float64) float64 {
+	switch agg {
+	case mdm.AggCount:
+		return float64(mo.BaseCount(fid)) * scale
+	case mdm.AggSum:
+		return mo.Measure(fid, j) * scale
+	default:
+		// MIN/MAX replicate: disaggregation cannot split extrema.
+		return mo.Measure(fid, j)
+	}
+}
+
+// disaggregate splits a coarse fact evenly over the populated drill-down
+// cells below it, per dimension, multiplying the shares across
+// dimensions.
+func disaggregate(mo *mdm.MO, fid mdm.FactID, cell []mdm.ValueID, target mdm.Granularity, addTo func([]mdm.ValueID, mdm.FactID, float64)) {
+	schema := mo.Schema()
+	// Collect per-dimension candidate lists at the target granularity.
+	choices := make([][]mdm.ValueID, len(cell))
+	total := 1
+	for i, d := range schema.Dims {
+		if d.CatLE(d.CategoryOf(cell[i]), target[i]) {
+			choices[i] = []mdm.ValueID{cell[i]}
+			continue
+		}
+		dd := d.DrillDown(cell[i], target[i])
+		if len(dd) == 0 {
+			return // nothing populated below: the fact cannot be placed
+		}
+		choices[i] = dd
+		total *= len(dd)
+	}
+	share := 1 / float64(total)
+	// Enumerate the cross product.
+	idx := make([]int, len(choices))
+	sub := make([]mdm.ValueID, len(choices))
+	for {
+		for i := range choices {
+			sub[i] = choices[i][idx[i]]
+		}
+		addTo(sub, fid, share)
+		carry := len(choices) - 1
+		for carry >= 0 {
+			idx[carry]++
+			if idx[carry] < len(choices[carry]) {
+				break
+			}
+			idx[carry] = 0
+			carry--
+		}
+		if carry < 0 {
+			break
+		}
+	}
+}
+
+// unambiguousRollUp maps a value whose category is not below cat onto
+// its unique ancestor-through-leaves at cat, when one exists: all
+// populated descendants at the GLB category must share the same ancestor
+// at cat.
+func unambiguousRollUp(d *mdm.Dimension, v mdm.ValueID, cat mdm.CategoryID) (mdm.ValueID, bool) {
+	glb := d.GLB(d.CategoryOf(v), cat)
+	dd := d.DrillDown(v, glb)
+	if len(dd) == 0 {
+		return mdm.NoValue, false
+	}
+	first := d.AncestorAt(dd[0], cat)
+	if first == mdm.NoValue {
+		return mdm.NoValue, false
+	}
+	for _, w := range dd[1:] {
+		if d.AncestorAt(w, cat) != first {
+			return mdm.NoValue, false
+		}
+	}
+	return first, true
+}
+
+// leastUpper returns the lowest category above both a and b.
+func leastUpper(d *mdm.Dimension, a, b mdm.CategoryID) mdm.CategoryID {
+	best := d.Top()
+	for c := 0; c < d.NumCategories(); c++ {
+		cid := mdm.CategoryID(c)
+		if d.CatLE(a, cid) && d.CatLE(b, cid) && d.CatLE(cid, best) {
+			best = cid
+		}
+	}
+	return best
+}
+
+// mergedName mirrors the reduction engine's fact naming: fact_4 and
+// fact_5 aggregate to "fact_45".
+func mergedName(sources []string) string {
+	if len(sources) == 1 {
+		return sources[0]
+	}
+	suffixes := make([]string, 0, len(sources))
+	for _, name := range sources {
+		rest, ok := strings.CutPrefix(name, "fact_")
+		if !ok {
+			return fmt.Sprintf("agg(%d facts)", len(sources))
+		}
+		suffixes = append(suffixes, rest)
+	}
+	sort.Strings(suffixes)
+	return "fact_" + strings.Join(suffixes, "")
+}

@@ -1,0 +1,81 @@
+package query
+
+import (
+	"testing"
+
+	"dimred/internal/caltime"
+	"dimred/internal/mdm"
+	"dimred/internal/spec"
+	"dimred/internal/workload"
+)
+
+func benchReducedStream(b *testing.B) (*workload.ClickObject, *spec.Env, *mdm.MO) {
+	b.Helper()
+	obj, err := workload.BuildClickMO(workload.ClickConfig{
+		Seed: 5, Start: caltime.Date(2000, 1, 1), Days: 120,
+		ClicksPerDay: 50, Domains: 10, URLsPerDomain: 5,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	env, err := spec.NewEnv(obj.Schema, "Time", obj.Time)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return obj, env, obj.MO
+}
+
+// BenchmarkSelectApproaches is the selection-approach ablation: the
+// conservative, liberal and weighted evaluations share the drill-down
+// machinery but differ in verdict computation.
+func BenchmarkSelectApproaches(b *testing.B) {
+	obj, env, mo := benchReducedStream(b)
+	_ = obj
+	pred, err := ParsePred(`Time.week <= 2000W10`, env)
+	if err != nil {
+		b.Fatal(err)
+	}
+	at := caltime.Date(2000, 6, 1)
+	for _, ap := range []Approach{Conservative, Liberal, Weighted} {
+		b.Run(ap.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if ap == Weighted {
+					if _, _, err := SelectWeighted(mo, pred, at); err != nil {
+						b.Fatal(err)
+					}
+				} else if _, err := Select(mo, pred, at, ap); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAggregateApproaches is the aggregate-formation ablation over
+// the four Section 6.3 approaches, on a mixed-granularity MO.
+func BenchmarkAggregateApproaches(b *testing.B) {
+	_, env, mo := benchReducedStream(b)
+	mid, err := env.Schema.ParseGranularity([]string{"Time.month", "URL.domain"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	mixed, err := Aggregate(mo, mid, Availability)
+	if err != nil {
+		b.Fatal(err)
+	}
+	target, err := env.Schema.ParseGranularity([]string{"Time.quarter", "URL.domain_grp"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, ap := range []AggApproach{Availability, Strict, LUB, Disaggregated} {
+		b.Run(ap.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := Aggregate(mixed, target, ap); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,126 @@
+package query
+
+import (
+	"math/rand"
+	"testing"
+
+	"dimred/internal/expr"
+)
+
+// bruteVerdicts computes the Definition 5 verdicts by direct expansion
+// of the quantifier structure, as an oracle for compareSets.
+func bruteVerdicts(op expr.Op, l, r ordSet) (cons, lib bool) {
+	all := func(pred func(a int64) bool) bool {
+		for _, a := range l {
+			if !pred(a) {
+				return false
+			}
+		}
+		return true
+	}
+	exists := func(pred func(a int64) bool) bool {
+		for _, a := range l {
+			if pred(a) {
+				return true
+			}
+		}
+		return false
+	}
+	anyR := func(pred func(b int64) bool) bool {
+		for _, b := range r {
+			if pred(b) {
+				return true
+			}
+		}
+		return false
+	}
+	allR := func(pred func(b int64) bool) bool {
+		for _, b := range r {
+			if !pred(b) {
+				return false
+			}
+		}
+		return true
+	}
+	switch op {
+	case expr.OpLT:
+		return all(func(a int64) bool { return allR(func(b int64) bool { return a < b }) }),
+			exists(func(a int64) bool { return anyR(func(b int64) bool { return a < b }) })
+	case expr.OpGT:
+		return all(func(a int64) bool { return allR(func(b int64) bool { return a > b }) }),
+			exists(func(a int64) bool { return anyR(func(b int64) bool { return a > b }) })
+	case expr.OpLE:
+		return all(func(a int64) bool { return anyR(func(b int64) bool { return a <= b }) }),
+			exists(func(a int64) bool { return anyR(func(b int64) bool { return a <= b }) })
+	case expr.OpGE:
+		return all(func(a int64) bool { return anyR(func(b int64) bool { return a >= b }) }),
+			exists(func(a int64) bool { return anyR(func(b int64) bool { return a >= b }) })
+	case expr.OpEQ:
+		return l.equal(r), !l.disjoint(r)
+	case expr.OpNE:
+		return l.disjoint(r), !(len(l) == 1 && len(r) == 1 && l[0] == r[0])
+	case expr.OpIn:
+		return all(func(a int64) bool { return anyR(func(b int64) bool { return a == b }) }),
+			exists(func(a int64) bool { return anyR(func(b int64) bool { return a == b }) })
+	case expr.OpNotIn:
+		return l.disjoint(r), !l.subsetOf(r)
+	}
+	return false, false
+}
+
+func randomOrdSet(rng *rand.Rand) ordSet {
+	n := 1 + rng.Intn(4)
+	seen := map[int64]bool{}
+	var s ordSet
+	for len(s) < n {
+		x := int64(rng.Intn(10))
+		if !seen[x] {
+			seen[x] = true
+			s = append(s, x)
+		}
+	}
+	sortOrds(s)
+	return s
+}
+
+// TestCompareSetsAgainstQuantifierOracle cross-checks the closed-form
+// comparisons in compareSets against the quantified Definition 5
+// formulas, and validates the cross-approach laws: conservative implies
+// liberal, and weight is 1 on conservative, 0 off liberal, in [0,1]
+// always.
+func TestCompareSetsAgainstQuantifierOracle(t *testing.T) {
+	ops := []expr.Op{expr.OpLT, expr.OpLE, expr.OpEQ, expr.OpNE, expr.OpGE, expr.OpGT, expr.OpIn, expr.OpNotIn}
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 3000; trial++ {
+		l, r := randomOrdSet(rng), randomOrdSet(rng)
+		op := ops[rng.Intn(len(ops))]
+		cons, lib, w := compareSets(op, l, r)
+		oc, ol := bruteVerdicts(op, l, r)
+		if cons != oc || lib != ol {
+			t.Fatalf("op %v l=%v r=%v: got (%v,%v), oracle (%v,%v)", op, l, r, cons, lib, oc, ol)
+		}
+		if cons && !lib {
+			t.Fatalf("op %v l=%v r=%v: conservative without liberal", op, l, r)
+		}
+		if w < 0 || w > 1 {
+			t.Fatalf("op %v: weight %v out of range", op, w)
+		}
+		if !lib && w != 0 {
+			t.Fatalf("op %v l=%v r=%v: weight %v despite liberal=false", op, l, r, w)
+		}
+	}
+}
+
+// TestCompareSetsEmpty covers degenerate inputs.
+func TestCompareSetsEmpty(t *testing.T) {
+	l := ordSet{1}
+	if c, lib, w := compareSets(expr.OpLT, nil, l); c || lib || w != 0 {
+		t.Error("empty left should fail all approaches")
+	}
+	if c, lib, w := compareSets(expr.OpLT, l, nil); c || lib || w != 0 {
+		t.Error("empty right should fail all approaches")
+	}
+	if c, _, _ := compareSets(expr.Op(99), l, l); c {
+		t.Error("unknown op should fail")
+	}
+}

@@ -1,0 +1,222 @@
+package query
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"dimred/internal/caltime"
+	"dimred/internal/mdm"
+	"dimred/internal/spec"
+	"dimred/internal/workload"
+)
+
+// canonAgg renders an MO's cells and measures for comparison, ignoring
+// fact names.
+func canonAgg(mo *mdm.MO) string {
+	var lines []string
+	for f := 0; f < mo.Len(); f++ {
+		fid := mdm.FactID(f)
+		var b strings.Builder
+		b.WriteString(mo.CellString(fid))
+		for j := range mo.Schema().Measures {
+			fmt.Fprintf(&b, "|%v", mo.Measure(fid, j))
+		}
+		lines = append(lines, b.String())
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}
+
+// TestTwoStepAggregationDistributive validates the claim underpinning
+// the Figure 8 evaluation plan: because the default aggregate functions
+// are distributive, aggregating first to an intermediate granularity and
+// then to the target equals aggregating directly — for every
+// intermediate level between bottom and target.
+func TestTwoStepAggregationDistributive(t *testing.T) {
+	obj, err := workload.BuildClickMO(workload.ClickConfig{
+		Seed: 21, Start: caltime.Date(2000, 3, 1), Days: 60,
+		ClicksPerDay: 40, Domains: 7, URLsPerDomain: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	schema := obj.Schema
+	target, err := schema.ParseGranularity([]string{"Time.quarter", "URL.domain_grp"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := Aggregate(obj.MO, target, Availability)
+	if err != nil {
+		t.Fatal(err)
+	}
+	intermediates := [][]string{
+		{"Time.day", "URL.domain"},
+		{"Time.month", "URL.url"},
+		{"Time.month", "URL.domain"},
+		{"Time.quarter", "URL.domain"},
+		{"Time.month", "URL.domain_grp"},
+	}
+	for _, refs := range intermediates {
+		mid, err := schema.ParseGranularity(refs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		step1, err := Aggregate(obj.MO, mid, Availability)
+		if err != nil {
+			t.Fatal(err)
+		}
+		step2, err := Aggregate(step1, target, Availability)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if canonAgg(step2) != canonAgg(direct) {
+			t.Errorf("two-step via %v differs from direct:\n%s\nvs\n%s",
+				refs, canonAgg(step2), canonAgg(direct))
+		}
+	}
+}
+
+// TestAggregateWeightedExpectedValues checks the weighted pipeline: a
+// predicate each quarter fact satisfies with weight 2/3 yields expected
+// SUM contributions scaled by 2/3.
+func TestAggregateWeightedExpectedValues(t *testing.T) {
+	td := mdm.NewDimension("T")
+	leaf := td.MustAddCategory("leaf", true)
+	grp := td.MustAddCategory("grp", false)
+	if err := td.Contains(leaf, grp); err != nil {
+		t.Fatal(err)
+	}
+	td.MustFinalize()
+	g1 := td.MustAddValue(grp, "g1", 0, nil)
+	l1 := td.MustAddValue(leaf, "l1", 1, map[mdm.CategoryID]mdm.ValueID{grp: g1})
+	l2 := td.MustAddValue(leaf, "l2", 2, map[mdm.CategoryID]mdm.ValueID{grp: g1})
+	l3 := td.MustAddValue(leaf, "l3", 3, map[mdm.CategoryID]mdm.ValueID{grp: g1})
+	_ = l2
+	_ = l3
+	schema, err := mdm.NewSchema("F", []*mdm.Dimension{td}, []mdm.Measure{{Name: "v", Agg: mdm.AggSum}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mo := mdm.NewMO(schema)
+	// One fact already aggregated to g1 (covers leaves l1..l3).
+	if _, err := mo.AddFactAt([]mdm.ValueID{g1}, []float64{90}, 3, "agg"); err != nil {
+		t.Fatal(err)
+	}
+	// A second fact at leaf level that certainly matches.
+	if _, err := mo.AddFact([]mdm.ValueID{l1}, []float64{10}); err != nil {
+		t.Fatal(err)
+	}
+	// Predicate: leaf in {l1, l2} — the g1 fact matches with weight 2/3.
+	// (This dimension has no time model, so build the predicate
+	// programmatically against a time-free env.)
+	env := timeFreeEnv(t, schema)
+	pred, err := ParsePred(`T.leaf in {"l1", "l2"}`, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, ws, err := SelectWeighted(mo, pred, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Len() != 2 {
+		t.Fatalf("weighted selection = %d facts", sel.Len())
+	}
+	res, err := AggregateWeighted(sel, ws, mdm.Granularity{grp}, Availability)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 1 {
+		t.Fatalf("result = %d facts", res.Len())
+	}
+	// Expected: 90 * 2/3 + 10 * 1 = 70.
+	if got := res.Measure(0, 0); got != 70 {
+		t.Errorf("expected value = %v, want 70", got)
+	}
+	// Weight arity mismatch is rejected.
+	if _, err := AggregateWeighted(sel, ws[:1], mdm.Granularity{grp}, Availability); err == nil {
+		t.Error("short weights accepted")
+	}
+}
+
+func timeFreeEnv(t *testing.T, schema *mdm.Schema) *spec.Env {
+	t.Helper()
+	env, err := spec.NewEnv(schema, "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return env
+}
+
+// TestAggregationWithMinMaxMeasures exercises distributivity for MIN and
+// MAX default aggregate functions, which the SUM-only paper example does
+// not cover.
+func TestAggregationWithMinMaxMeasures(t *testing.T) {
+	td := mdm.NewDimension("T")
+	leaf := td.MustAddCategory("leaf", true)
+	grp := td.MustAddCategory("grp", false)
+	if err := td.Contains(leaf, grp); err != nil {
+		t.Fatal(err)
+	}
+	td.MustFinalize()
+	g1 := td.MustAddValue(grp, "g1", 0, nil)
+	g2 := td.MustAddValue(grp, "g2", 0, nil)
+	l1 := td.MustAddValue(leaf, "l1", 1, map[mdm.CategoryID]mdm.ValueID{grp: g1})
+	l2 := td.MustAddValue(leaf, "l2", 2, map[mdm.CategoryID]mdm.ValueID{grp: g1})
+	l3 := td.MustAddValue(leaf, "l3", 3, map[mdm.CategoryID]mdm.ValueID{grp: g2})
+	schema, err := mdm.NewSchema("F", []*mdm.Dimension{td}, []mdm.Measure{
+		{Name: "lo", Agg: mdm.AggMin},
+		{Name: "hi", Agg: mdm.AggMax},
+		{Name: "n", Agg: mdm.AggCount},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mo := mdm.NewMO(schema)
+	for i, v := range []mdm.ValueID{l1, l2, l3} {
+		if _, err := mo.AddFact([]mdm.ValueID{v}, []float64{float64(10 - i), float64(i), 99}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := Aggregate(mo, mdm.Granularity{grp}, Availability)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 2 {
+		t.Fatalf("groups = %d", res.Len())
+	}
+	for f := 0; f < res.Len(); f++ {
+		fid := mdm.FactID(f)
+		switch res.CellString(fid) {
+		case "g1":
+			if res.Measure(fid, 0) != 9 { // min(10, 9)
+				t.Errorf("g1 min = %v", res.Measure(fid, 0))
+			}
+			if res.Measure(fid, 1) != 1 { // max(0, 1)
+				t.Errorf("g1 max = %v", res.Measure(fid, 1))
+			}
+			if res.Measure(fid, 2) != 2 { // COUNT ignores the stored 99
+				t.Errorf("g1 count = %v", res.Measure(fid, 2))
+			}
+		case "g2":
+			if res.Measure(fid, 0) != 8 || res.Measure(fid, 1) != 2 || res.Measure(fid, 2) != 1 {
+				t.Errorf("g2 = %v %v %v", res.Measure(fid, 0), res.Measure(fid, 1), res.Measure(fid, 2))
+			}
+		default:
+			t.Errorf("unexpected cell %q", res.CellString(fid))
+		}
+	}
+	// Two-step TOP roll-up stays distributive for MIN/MAX/COUNT.
+	top, err := Aggregate(res, mdm.Granularity{td.Top()}, Availability)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := Aggregate(mo, mdm.Granularity{td.Top()}, Availability)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if canonAgg(top) != canonAgg(direct) {
+		t.Errorf("MIN/MAX/COUNT two-step differs:\n%s\nvs\n%s", canonAgg(top), canonAgg(direct))
+	}
+}

@@ -1,0 +1,476 @@
+package query
+
+import (
+	"fmt"
+
+	"dimred/internal/caltime"
+	"dimred/internal/expr"
+	"dimred/internal/mdm"
+	"dimred/internal/spec"
+)
+
+// qtest is one compiled atomic constraint of a query predicate.
+type qtest struct {
+	dim     int
+	cat     mdm.CategoryID
+	isTime  bool
+	op      expr.Op
+	unit    caltime.Unit
+	timeRHS []caltime.Expr
+	valRHS  []string
+	isTrue  bool // constant-true sentinel
+	isFalse bool // constant-false sentinel
+}
+
+// Predicate is a selection predicate compiled against a schema for
+// evaluation on facts of any granularity, in DNF (negations are pushed
+// onto atoms, which is required for the conservative and liberal
+// approaches to stay sound under negation).
+type Predicate struct {
+	env       *spec.Env
+	disjuncts [][]qtest
+	src       expr.Pred
+}
+
+// CompilePred compiles a parsed predicate against the environment.
+// Unlike action predicates, query predicates may reference any category
+// and are evaluated with the Definition 5 drill-down semantics.
+func CompilePred(p expr.Pred, env *spec.Env) (*Predicate, error) {
+	d, err := expr.ToDNF(p)
+	if err != nil {
+		return nil, fmt.Errorf("query: %w", err)
+	}
+	out := &Predicate{env: env, src: p}
+	for _, dj := range d.Disjuncts {
+		tests := make([]qtest, 0, len(dj))
+		for _, atom := range dj {
+			t, err := compileQueryAtom(atom, env)
+			if err != nil {
+				return nil, err
+			}
+			tests = append(tests, t)
+		}
+		out.disjuncts = append(out.disjuncts, tests)
+	}
+	return out, nil
+}
+
+// ParsePred parses and compiles a concrete-syntax predicate.
+func ParsePred(src string, env *spec.Env) (*Predicate, error) {
+	p, err := expr.ParsePred(src)
+	if err != nil {
+		return nil, fmt.Errorf("query: %w", err)
+	}
+	return CompilePred(p, env)
+}
+
+// MustParsePred panics on error; for constant predicates in tests and
+// examples.
+func MustParsePred(src string, env *spec.Env) *Predicate {
+	p, err := ParsePred(src, env)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func compileQueryAtom(atom expr.Pred, env *spec.Env) (qtest, error) {
+	resolve := func(ref expr.CatRef) (int, mdm.CategoryID, error) {
+		di := env.Schema.DimIndex(ref.Dim)
+		if di < 0 {
+			return 0, 0, fmt.Errorf("query: unknown dimension %q", ref.Dim)
+		}
+		c, ok := env.Schema.Dims[di].CategoryByName(ref.Cat)
+		if !ok {
+			return 0, 0, fmt.Errorf("query: dimension %s has no category %q", ref.Dim, ref.Cat)
+		}
+		return di, c, nil
+	}
+	switch q := atom.(type) {
+	case expr.TimeCmp:
+		di, c, err := resolve(q.Ref)
+		if err != nil {
+			return qtest{}, err
+		}
+		u, err := queryTimeUnit(q.Ref, di, c, env, []caltime.Expr{q.RHS})
+		if err != nil {
+			return qtest{}, err
+		}
+		return qtest{dim: di, cat: c, isTime: true, op: q.Op, unit: u, timeRHS: []caltime.Expr{q.RHS}}, nil
+	case expr.TimeIn:
+		di, c, err := resolve(q.Ref)
+		if err != nil {
+			return qtest{}, err
+		}
+		u, err := queryTimeUnit(q.Ref, di, c, env, q.Set)
+		if err != nil {
+			return qtest{}, err
+		}
+		op := expr.OpIn
+		if q.Negate {
+			op = expr.OpNotIn
+		}
+		return qtest{dim: di, cat: c, isTime: true, op: op, unit: u, timeRHS: q.Set}, nil
+	case expr.ValueCmp:
+		di, c, err := resolve(q.Ref)
+		if err != nil {
+			return qtest{}, err
+		}
+		if di == env.TimeDim {
+			return qtest{}, fmt.Errorf("query: time category %s compared against value literal %q", q.Ref, q.RHS)
+		}
+		if q.Op != expr.OpEQ && q.Op != expr.OpNE && !env.Schema.Dims[di].Category(c).Ordered {
+			return qtest{}, fmt.Errorf("query: operator %s is not defined for unordered category %s", q.Op, q.Ref)
+		}
+		return qtest{dim: di, cat: c, op: q.Op, valRHS: []string{q.RHS}}, nil
+	case expr.ValueIn:
+		di, c, err := resolve(q.Ref)
+		if err != nil {
+			return qtest{}, err
+		}
+		if di == env.TimeDim {
+			return qtest{}, fmt.Errorf("query: time category %s tested against value literals", q.Ref)
+		}
+		op := expr.OpIn
+		if q.Negate {
+			op = expr.OpNotIn
+		}
+		return qtest{dim: di, cat: c, op: op, valRHS: q.Set}, nil
+	case expr.Bool:
+		return qtest{isTrue: q.Value, isFalse: !q.Value, dim: -1}, nil
+	}
+	return qtest{}, fmt.Errorf("query: unsupported atom %T", atom)
+}
+
+func queryTimeUnit(ref expr.CatRef, di int, c mdm.CategoryID, env *spec.Env, exprs []caltime.Expr) (caltime.Unit, error) {
+	if di != env.TimeDim {
+		return 0, fmt.Errorf("query: time expression constrains non-time dimension %s", ref.Dim)
+	}
+	u, ok := env.Time.UnitForCategory(c)
+	if !ok {
+		return 0, fmt.Errorf("query: category %s has no calendar unit", ref)
+	}
+	for _, e := range exprs {
+		if bu, anchored := e.BaseUnit(); anchored && bu != u {
+			return 0, fmt.Errorf("query: literal %s has type %s, category %s requires %s", e, bu, ref, u)
+		}
+	}
+	return u, nil
+}
+
+// EvaluateFact evaluates the predicate on fact f of mo at query time t
+// (binding NOW). It returns the conservative and liberal verdicts and
+// the weighted certainty.
+func (p *Predicate) EvaluateFact(mo *mdm.MO, f mdm.FactID, t caltime.Day) (cons, lib bool, weight float64) {
+	return p.EvaluateCell(cellReader{mo: mo, f: f}, t)
+}
+
+// CellReader supplies a fact's direct dimension values; it lets storage
+// engines evaluate predicates on their rows without materializing an MO.
+type CellReader interface {
+	Ref(dim int) mdm.ValueID
+}
+
+type cellReader struct {
+	mo *mdm.MO
+	f  mdm.FactID
+}
+
+func (c cellReader) Ref(dim int) mdm.ValueID { return c.mo.Ref(c.f, dim) }
+
+// Cell adapts a plain value slice to a CellReader.
+type Cell []mdm.ValueID
+
+// Ref implements CellReader.
+func (c Cell) Ref(dim int) mdm.ValueID { return c[dim] }
+
+// EvaluateCell evaluates the predicate on a cell at query time t. For
+// evaluation over many facts at the same t, Prepare amortizes the
+// right-hand-side resolution.
+func (p *Predicate) EvaluateCell(cell CellReader, t caltime.Day) (cons, lib bool, weight float64) {
+	return p.Prepare(t).EvaluateCell(cell)
+}
+
+// Prepared is a predicate bound to a query time: the right-hand sides of
+// every atom are resolved once, so per-fact evaluation only drills the
+// fact's own values. A Prepared lazily caches comparand sets and is NOT
+// safe for concurrent use — Prepare is cheap, so each goroutine prepares
+// its own instance (as the subcube evaluator does).
+type Prepared struct {
+	p *Predicate
+	t caltime.Day
+	// rhs[d][i] caches the comparand ordinals of disjunct d's atom i,
+	// keyed by the GLB category the comparison lands on (the fact side
+	// determines the GLB, so a small per-category map is needed).
+	rhs []map[int]map[mdm.CategoryID]ordSet
+}
+
+// Prepare binds the predicate to a query time.
+func (p *Predicate) Prepare(t caltime.Day) *Prepared {
+	pr := &Prepared{p: p, t: t, rhs: make([]map[int]map[mdm.CategoryID]ordSet, len(p.disjuncts))}
+	for d := range p.disjuncts {
+		pr.rhs[d] = make(map[int]map[mdm.CategoryID]ordSet, len(p.disjuncts[d]))
+	}
+	return pr
+}
+
+// EvaluateCell evaluates the prepared predicate on a cell.
+func (pr *Prepared) EvaluateCell(cell CellReader) (cons, lib bool, weight float64) {
+	for d, dj := range pr.p.disjuncts {
+		c, l, w := pr.evalDisjunct(d, dj, cell)
+		cons = cons || c
+		lib = lib || l
+		if w > weight {
+			weight = w
+		}
+	}
+	return cons, lib, weight
+}
+
+func (pr *Prepared) evalDisjunct(d int, dj []qtest, cell CellReader) (cons, lib bool, weight float64) {
+	cons, lib, weight = true, true, 1
+	for i := range dj {
+		c, l, w := pr.evalTest(d, i, cell)
+		cons = cons && c
+		lib = lib && l
+		weight *= w
+		if !lib {
+			return false, false, 0
+		}
+	}
+	return cons, lib, weight
+}
+
+func (pr *Prepared) evalTest(d, i int, cell CellReader) (cons, lib bool, weight float64) {
+	tst := pr.p.disjuncts[d][i]
+	if tst.dim < 0 {
+		if tst.isTrue {
+			return true, true, 1
+		}
+		return false, false, 0
+	}
+	dim := pr.p.env.Schema.Dims[tst.dim]
+	v := cell.Ref(tst.dim)
+
+	// Lift the fact's value to the predicate category when possible
+	// (f ~> v evaluation); otherwise Definition 5 drills both sides to
+	// the GLB category.
+	lhs := v
+	if a := dim.AncestorAt(v, tst.cat); a != mdm.NoValue {
+		lhs = a
+	}
+	glb := dim.GLB(dim.CategoryOf(lhs), tst.cat)
+	ordered := dim.Category(glb).Ordered
+
+	las := drillOrds(dim, lhs, glb, ordered)
+	if len(las) == 0 {
+		return false, false, 0
+	}
+	rbs := pr.rhsFor(d, i, tst, dim, glb, ordered)
+	if len(rbs) == 0 {
+		// Unknown comparands: equality-style tests fail, inequality-style
+		// negations hold liberally. Keep it simple and sound: nothing is
+		// known to satisfy, nothing might.
+		return false, false, 0
+	}
+	return compareSets(tst.op, las, rbs)
+}
+
+// rhsFor returns the cached comparand set of atom (d, i) at GLB category
+// glb, resolving it on first use.
+func (pr *Prepared) rhsFor(d, i int, tst qtest, dim *mdm.Dimension, glb mdm.CategoryID, ordered bool) ordSet {
+	byCat := pr.rhs[d][i]
+	if byCat == nil {
+		byCat = make(map[mdm.CategoryID]ordSet, 2)
+		pr.rhs[d][i] = byCat
+	}
+	if cached, ok := byCat[glb]; ok {
+		return cached
+	}
+	rbs := pr.p.rhsOrds(tst, dim, glb, ordered, pr.t)
+	byCat[glb] = rbs
+	return rbs
+}
+
+// rhsOrds materializes the right-hand side's drill-down ordinals at the
+// GLB category.
+func (p *Predicate) rhsOrds(tst qtest, d *mdm.Dimension, glb mdm.CategoryID, ordered bool, t caltime.Day) ordSet {
+	var out ordSet
+	if tst.isTime {
+		glbUnit, ok := p.env.Time.UnitForCategory(glb)
+		if !ok {
+			return nil
+		}
+		for _, e := range tst.timeRHS {
+			period := e.EvalPeriod(t, tst.unit)
+			// Prefer the populated value's drill-down; fall back to the
+			// calendar range of the period at the GLB unit.
+			if v, okv := d.ValueByName(tst.cat, period.String()); okv {
+				out = append(out, drillOrds(d, v, glb, ordered)...)
+				continue
+			}
+			lo := caltime.PeriodOf(period.First(), glbUnit).Index
+			hi := caltime.PeriodOf(period.Last(), glbUnit).Index
+			for x := lo; x <= hi; x++ {
+				out = append(out, x)
+			}
+		}
+	} else {
+		for _, name := range tst.valRHS {
+			v, ok := d.ValueByName(tst.cat, name)
+			if !ok {
+				continue
+			}
+			out = append(out, drillOrds(d, v, glb, ordered)...)
+		}
+	}
+	sortOrds(out)
+	// De-duplicate (set members may share drill-down values).
+	dedup := out[:0]
+	for i, x := range out {
+		if i == 0 || x != out[i-1] {
+			dedup = append(dedup, x)
+		}
+	}
+	return dedup
+}
+
+// String renders the predicate's source form.
+func (p *Predicate) String() string { return p.src.String() }
+
+const (
+	minDay = caltime.Day(-1 << 60)
+	maxDay = caltime.Day(1 << 60)
+)
+
+// TimeBounds returns a day-interval hull of the predicate at query time
+// t: no fact whose time value lies entirely outside [lo, hi] can satisfy
+// the predicate, under any approach. bounded is false when the predicate
+// does not constrain time (or some disjunct doesn't). Storage engines
+// use this as a zone map to skip partitions.
+func (p *Predicate) TimeBounds(t caltime.Day) (lo, hi caltime.Day, bounded bool) {
+	if p.env.TimeDim < 0 {
+		return 0, 0, false
+	}
+	lo, hi = maxDay, minDay
+	for _, dj := range p.disjuncts {
+		dLo, dHi := minDay, maxDay
+		constrained := false
+		for _, tst := range dj {
+			if !tst.isTime {
+				continue
+			}
+			switch tst.op {
+			case expr.OpLT:
+				period := tst.timeRHS[0].EvalPeriod(t, tst.unit)
+				dHi = minD(dHi, period.First()-1)
+				constrained = true
+			case expr.OpLE:
+				period := tst.timeRHS[0].EvalPeriod(t, tst.unit)
+				dHi = minD(dHi, period.Last())
+				constrained = true
+			case expr.OpEQ:
+				period := tst.timeRHS[0].EvalPeriod(t, tst.unit)
+				dLo = maxD(dLo, period.First())
+				dHi = minD(dHi, period.Last())
+				constrained = true
+			case expr.OpGE:
+				period := tst.timeRHS[0].EvalPeriod(t, tst.unit)
+				dLo = maxD(dLo, period.First())
+				constrained = true
+			case expr.OpGT:
+				period := tst.timeRHS[0].EvalPeriod(t, tst.unit)
+				dLo = maxD(dLo, period.Last()+1)
+				constrained = true
+			case expr.OpIn:
+				inLo, inHi := maxDay, minDay
+				for _, e := range tst.timeRHS {
+					period := e.EvalPeriod(t, tst.unit)
+					inLo = minD(inLo, period.First())
+					inHi = maxD(inHi, period.Last())
+				}
+				dLo = maxD(dLo, inLo)
+				dHi = minD(dHi, inHi)
+				constrained = true
+			default:
+				// NE and NotIn exclude a region: no hull contribution.
+			}
+		}
+		if !constrained {
+			return 0, 0, false // this disjunct admits any time
+		}
+		lo = minD(lo, dLo)
+		hi = maxD(hi, dHi)
+	}
+	if len(p.disjuncts) == 0 {
+		return 0, 0, false // constant false: callers see an empty result anyway
+	}
+	return lo, hi, true
+}
+
+func minD(a, b caltime.Day) caltime.Day {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxD(a, b caltime.Day) caltime.Day {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Select is the selection operator σ[p](O) (Eq. 36) under the given
+// approach, evaluated at query time t (binding NOW in the predicate).
+// The result MO has the same schema and dimensions; facts are restricted
+// to those selected. For the Weighted approach use SelectWeighted.
+func Select(mo *mdm.MO, p *Predicate, t caltime.Day, approach Approach) (*mdm.MO, error) {
+	if approach == Weighted {
+		res, _, err := SelectWeighted(mo, p, t)
+		return res, err
+	}
+	out := mdm.NewMO(mo.Schema())
+	out.SetFloors(mo.Floors())
+	prep := p.Prepare(t)
+	for f := 0; f < mo.Len(); f++ {
+		fid := mdm.FactID(f)
+		cons, lib, _ := prep.EvaluateCell(cellReader{mo: mo, f: fid})
+		keep := cons
+		if approach == Liberal {
+			keep = lib
+		}
+		if !keep {
+			continue
+		}
+		nf, err := out.AddFactAt(mo.Refs(fid), mo.Measures(fid), mo.BaseCount(fid), mo.Name(fid))
+		if err != nil {
+			return nil, fmt.Errorf("query: Select: %w", err)
+		}
+		_ = nf
+	}
+	return out, nil
+}
+
+// SelectWeighted is selection under the weighted approach: facts that
+// might satisfy the predicate, each with its certainty weight, aligned
+// with the result MO's fact ids.
+func SelectWeighted(mo *mdm.MO, p *Predicate, t caltime.Day) (*mdm.MO, []float64, error) {
+	out := mdm.NewMO(mo.Schema())
+	out.SetFloors(mo.Floors())
+	var weights []float64
+	prep := p.Prepare(t)
+	for f := 0; f < mo.Len(); f++ {
+		fid := mdm.FactID(f)
+		_, lib, w := prep.EvaluateCell(cellReader{mo: mo, f: fid})
+		if !lib || w <= 0 {
+			continue
+		}
+		if _, err := out.AddFactAt(mo.Refs(fid), mo.Measures(fid), mo.BaseCount(fid), mo.Name(fid)); err != nil {
+			return nil, nil, fmt.Errorf("query: SelectWeighted: %w", err)
+		}
+		weights = append(weights, w)
+	}
+	return out, weights, nil
+}

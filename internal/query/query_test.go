@@ -1,0 +1,592 @@
+package query
+
+import (
+	"strings"
+	"testing"
+
+	"dimred/internal/caltime"
+	"dimred/internal/core"
+	"dimred/internal/dims"
+	"dimred/internal/mdm"
+	"dimred/internal/spec"
+)
+
+const (
+	srcA1 = `aggregate [Time.month, URL.domain] where URL.domain_grp = ".com" and NOW - 12 months < Time.month and Time.month <= NOW - 6 months`
+	srcA2 = `aggregate [Time.quarter, URL.domain] where URL.domain_grp = ".com" and Time.quarter <= NOW - 4 quarters`
+)
+
+// reducedPaperMO returns the paper's MO reduced at 2000/11/5 (Figure 3,
+// third snapshot: fact_03, fact_12, fact_45, fact_6) plus the env.
+func reducedPaperMO(t *testing.T) (*dims.PaperObject, *spec.Env, *mdm.MO) {
+	t.Helper()
+	p := dims.MustPaperMO()
+	env, err := spec.NewEnv(p.Schema, "Time", p.Time)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := spec.New(env,
+		spec.MustCompileString("a1", srcA1, env),
+		spec.MustCompileString("a2", srcA2, env))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Reduce(s, p.MO, day(t, "2000/11/5"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, env, res.MO
+}
+
+func day(t *testing.T, s string) caltime.Day {
+	t.Helper()
+	d, err := caltime.ParseDay(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func factNames(mo *mdm.MO) []string {
+	var out []string
+	for f := 0; f < mo.Len(); f++ {
+		out = append(out, mo.Name(mdm.FactID(f)))
+	}
+	return out
+}
+
+func hasFact(mo *mdm.MO, name string) bool {
+	for f := 0; f < mo.Len(); f++ {
+		if mo.Name(mdm.FactID(f)) == name {
+			return true
+		}
+	}
+	return false
+}
+
+// --- Definition 5 comparison semantics (Section 6.1 worked examples) ---
+
+// comparePaperValues compares two time values of the reduced MO's Time
+// dimension under Definition 5 by compiling a tiny predicate.
+func evalCompare(t *testing.T, env *spec.Env, mo *mdm.MO, factName, predSrc string, at string) (bool, bool, float64) {
+	t.Helper()
+	p := MustParsePred(predSrc, env)
+	for f := 0; f < mo.Len(); f++ {
+		if mo.Name(mdm.FactID(f)) == factName {
+			return p.EvaluateFact(mo, mdm.FactID(f), day(t, at))
+		}
+	}
+	t.Fatalf("no fact %q", factName)
+	return false, false, 0
+}
+
+func TestDef5StrictLess(t *testing.T) {
+	// Paper: "1999Q4 < 1999W48" evaluates FALSE (1999/12/31 is not
+	// before 1999/12/4); "1999Q4 < 2000W1" evaluates TRUE with the
+	// populated days (the example dimension's 2000W1 contains only
+	// 2000/1/4).
+	_, env, red := reducedPaperMO(t)
+	cons, _, _ := evalCompare(t, env, red, "fact_03", `Time.week < 1999W48`, "2000/11/5")
+	if cons {
+		t.Error("1999Q4 < 1999W48 should be FALSE")
+	}
+	cons, _, _ = evalCompare(t, env, red, "fact_03", `Time.week < 2000W1`, "2000/11/5")
+	if !cons {
+		t.Error("1999Q4 < 2000W1 should be TRUE")
+	}
+}
+
+func TestDef5InSet(t *testing.T) {
+	// Paper: 1999Q4 in {1999W39..2000W1} is TRUE; in {1999W39..1999W51}
+	// is FALSE (1999/12/31 lies in 1999W52).
+	_, env, red := reducedPaperMO(t)
+	wide := `Time.week in {1999W47, 1999W48, 1999W52, 2000W1}`
+	cons, _, _ := evalCompare(t, env, red, "fact_03", wide, "2000/11/5")
+	if !cons {
+		t.Error("1999Q4 in {..2000W1} should be TRUE")
+	}
+	narrow := `Time.week in {1999W47, 1999W48, 1999W51}`
+	cons, lib, w := evalCompare(t, env, red, "fact_03", narrow, "2000/11/5")
+	if cons {
+		t.Error("1999Q4 in {..1999W51} should be FALSE")
+	}
+	// Liberally it might satisfy (two of three days match).
+	if !lib {
+		t.Error("liberal approach should keep the fact")
+	}
+	if w <= 0.5 || w >= 1 {
+		t.Errorf("weight = %v, want 2/3", w)
+	}
+}
+
+func TestSelectionQ1Q2Q3(t *testing.T) {
+	// Section 6.1 queries on the reduced MO at 2000/11/5.
+	_, env, red := reducedPaperMO(t)
+	at := "2000/11/5"
+
+	// Q1: quarter <= 1999Q3 — unaffected by reduction; no fact matches.
+	q1, err := Select(red, MustParsePred(`Time.quarter <= 1999Q3`, env), day(t, at), Conservative)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q1.Len() != 0 {
+		t.Errorf("Q1 = %v", factNames(q1))
+	}
+	// quarter <= 1999Q4 selects the two quarter-level facts.
+	q1b, err := Select(red, MustParsePred(`Time.quarter <= 1999Q4`, env), day(t, at), Conservative)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q1b.Len() != 2 || !hasFact(q1b, "fact_03") || !hasFact(q1b, "fact_12") {
+		t.Errorf("quarter <= 1999Q4 = %v", factNames(q1b))
+	}
+
+	// Q2: month <= 1999/10 — the quarter facts only partly satisfy;
+	// conservative excludes them.
+	q2, err := Select(red, MustParsePred(`Time.month <= 1999/10`, env), day(t, at), Conservative)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q2.Len() != 0 {
+		t.Errorf("Q2 = %v", factNames(q2))
+	}
+
+	// Q3: week <= 1999W48 — requires drilling down to days; the quarter
+	// facts include 1999/12/31 > 1999/12/4, so nothing qualifies.
+	q3, err := Select(red, MustParsePred(`Time.week <= 1999W48`, env), day(t, at), Conservative)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q3.Len() != 0 {
+		t.Errorf("Q3 = %v", factNames(q3))
+	}
+	// Liberal Q3 keeps the quarter facts (they might satisfy).
+	q3lib, err := Select(red, MustParsePred(`Time.week <= 1999W48`, env), day(t, at), Liberal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hasFact(q3lib, "fact_03") || !hasFact(q3lib, "fact_12") {
+		t.Errorf("liberal Q3 = %v", factNames(q3lib))
+	}
+}
+
+func TestSelectionOnValueDimension(t *testing.T) {
+	_, env, red := reducedPaperMO(t)
+	at := day(t, "2000/11/5")
+	sel, err := Select(red, MustParsePred(`URL.domain = "cnn.com"`, env), at, Conservative)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Len() != 2 || !hasFact(sel, "fact_12") || !hasFact(sel, "fact_45") {
+		t.Errorf("domain = cnn.com -> %v", factNames(sel))
+	}
+	// domain_grp works on facts at domain granularity via ancestors.
+	sel, err = Select(red, MustParsePred(`URL.domain_grp = ".edu"`, env), at, Conservative)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Len() != 1 || !hasFact(sel, "fact_6") {
+		t.Errorf(".edu -> %v", factNames(sel))
+	}
+	// Selecting on url: domain-level facts cannot be known to match one
+	// url (cnn.com has two populated urls) — conservative excludes,
+	// liberal includes.
+	selC, err := Select(red, MustParsePred(`URL.url = "http://www.cnn.com/health"`, env), at, Conservative)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if selC.Len() != 0 {
+		t.Errorf("conservative url select = %v", factNames(selC))
+	}
+	selL, err := Select(red, MustParsePred(`URL.url = "http://www.cnn.com/health"`, env), at, Liberal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hasFact(selL, "fact_12") || !hasFact(selL, "fact_45") {
+		t.Errorf("liberal url select = %v", factNames(selL))
+	}
+	// Weighted attaches 1/2 to each cnn.com fact.
+	selW, ws, err := SelectWeighted(red, MustParsePred(`URL.url = "http://www.cnn.com/health"`, env), at)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if selW.Len() != 2 {
+		t.Fatalf("weighted select = %v", factNames(selW))
+	}
+	for i, w := range ws {
+		if w != 0.5 {
+			t.Errorf("weight[%d] = %v, want 0.5", i, w)
+		}
+	}
+	// Unknown value: conservative and liberal both empty.
+	selU, err := Select(red, MustParsePred(`URL.domain = "nosuch.org"`, env), at, Liberal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if selU.Len() != 0 {
+		t.Errorf("unknown value select = %v", factNames(selU))
+	}
+}
+
+func TestSelectionTrueFalse(t *testing.T) {
+	_, env, red := reducedPaperMO(t)
+	at := day(t, "2000/11/5")
+	all, err := Select(red, MustParsePred(`true`, env), at, Conservative)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if all.Len() != red.Len() {
+		t.Error("true should select everything")
+	}
+	none, err := Select(red, MustParsePred(`false`, env), at, Liberal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if none.Len() != 0 {
+		t.Error("false should select nothing")
+	}
+}
+
+func TestConservativeSubsetOfLiberal(t *testing.T) {
+	// Property: for every predicate, conservative selection returns a
+	// subset of liberal selection.
+	_, env, red := reducedPaperMO(t)
+	at := day(t, "2000/11/5")
+	preds := []string{
+		`Time.month <= 1999/12`,
+		`Time.week < 2000W1`,
+		`Time.day >= 2000/1/4`,
+		`URL.domain = "cnn.com" and Time.quarter <= 2000Q1`,
+		`URL.url != "http://www.cnn.com/"`,
+		`Time.quarter in {1999Q4}`,
+		`URL.domain not in {"cnn.com"}`,
+		`Time.year = 1999 or URL.domain_grp = ".edu"`,
+	}
+	for _, src := range preds {
+		p := MustParsePred(src, env)
+		consSet := make(map[string]bool)
+		cmo, err := Select(red, p, at, Conservative)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, n := range factNames(cmo) {
+			consSet[n] = true
+		}
+		lmo, err := Select(red, p, at, Liberal)
+		if err != nil {
+			t.Fatal(err)
+		}
+		libSet := make(map[string]bool)
+		for _, n := range factNames(lmo) {
+			libSet[n] = true
+		}
+		for n := range consSet {
+			if !libSet[n] {
+				t.Errorf("%s: conservative fact %s missing from liberal", src, n)
+			}
+		}
+		// Weighted: weight 1 iff conservative (for these DNF predicates).
+		wmo, ws, err := SelectWeighted(red, p, at)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < wmo.Len(); i++ {
+			n := wmo.Name(mdm.FactID(i))
+			if consSet[n] && ws[i] < 1 {
+				t.Errorf("%s: conservative fact %s has weight %v", src, n, ws[i])
+			}
+			if !libSet[n] {
+				t.Errorf("%s: weighted fact %s missing from liberal", src, n)
+			}
+		}
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	_, env, _ := reducedPaperMO(t)
+	bad := []string{
+		`Shop.name = "x"`,
+		`Time.fortnight <= 1999/12`,
+		`URL.domain < "a"`,
+		`Time.month = "1999/12"`,
+		`URL.domain <= 1999/12`,
+		`Time.month <= 1999Q4`,
+	}
+	for _, src := range bad {
+		if _, err := ParsePred(src, env); err == nil {
+			t.Errorf("ParsePred(%q) succeeded", src)
+		}
+	}
+}
+
+// --- Projection (Figure 4) ---
+
+func TestProjectionFigure4(t *testing.T) {
+	_, _, red := reducedPaperMO(t)
+	proj, err := Project(red, []string{"URL"}, []string{"Number_of", "Dwell_time"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if proj.Len() != 4 {
+		t.Fatalf("projection has %d facts, want 4", proj.Len())
+	}
+	if proj.Schema().NumDims() != 1 || len(proj.Schema().Measures) != 2 {
+		t.Error("projection schema wrong")
+	}
+	// Figure 4's facts: fact_03 -> amazon.com (2, 689); fact_12 ->
+	// cnn.com (2, 2489); fact_45 -> cnn.com (2, 955); fact_6 ->
+	// gatech.edu (1, 32). Duplicated cnn.com cells are retained.
+	want := map[string][2]float64{
+		"fact_03": {2, 689},
+		"fact_12": {2, 2489},
+		"fact_45": {2, 955},
+		"fact_6":  {1, 32},
+	}
+	cnn := 0
+	for f := 0; f < proj.Len(); f++ {
+		fid := mdm.FactID(f)
+		m, ok := want[proj.Name(fid)]
+		if !ok {
+			t.Fatalf("unexpected fact %s", proj.Name(fid))
+		}
+		if proj.Measure(fid, 0) != m[0] || proj.Measure(fid, 1) != m[1] {
+			t.Errorf("%s measures = %v, %v", proj.Name(fid), proj.Measure(fid, 0), proj.Measure(fid, 1))
+		}
+		if proj.CellString(fid) == "cnn.com" {
+			cnn++
+		}
+	}
+	if cnn != 2 {
+		t.Errorf("cnn.com duplicates = %d, want 2", cnn)
+	}
+	// Unknown names fail.
+	if _, err := Project(red, []string{"Nope"}, nil); err == nil {
+		t.Error("unknown dimension accepted")
+	}
+	if _, err := Project(red, []string{"URL"}, []string{"Nope"}); err == nil {
+		t.Error("unknown measure accepted")
+	}
+}
+
+// --- Aggregate formation (Figure 5, Section 6.3) ---
+
+func granOf(t *testing.T, env *spec.Env, refs ...string) mdm.Granularity {
+	t.Helper()
+	g, err := env.Schema.ParseGranularity(refs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestGroupHighExamples(t *testing.T) {
+	// Section 6.3's Group_high examples on the reduced MO at 2000/11/5.
+	p, env, red := reducedPaperMO(t)
+	target := granOf(t, env, "Time.month", "URL.domain")
+
+	q4, _ := p.Time.PeriodValue(mustPeriod(t, "1999Q4"))
+	y1999, _ := p.Time.PeriodValue(mustPeriod(t, "1999"))
+	m200001, _ := p.Time.PeriodValue(mustPeriod(t, "2000/1"))
+	amazon, _ := p.URL.ValueByName(p.URL.Domain, "amazon.com")
+	gatech, _ := p.URL.ValueByName(p.URL.Domain, "gatech.edu")
+
+	g1 := GroupHigh(red, []mdm.ValueID{q4, amazon}, target)
+	if len(g1) != 1 || red.Name(g1[0]) != "fact_03" {
+		t.Errorf("Group_high((1999Q4, amazon.com)) = %v", g1)
+	}
+	g2 := GroupHigh(red, []mdm.ValueID{y1999, amazon}, target)
+	if len(g2) != 0 {
+		t.Errorf("Group_high((1999, amazon.com)) = %v, want empty", g2)
+	}
+	g3 := GroupHigh(red, []mdm.ValueID{m200001, gatech}, target)
+	if len(g3) != 1 || red.Name(g3[0]) != "fact_6" {
+		t.Errorf("Group_high((2000/1, gatech.edu)) = %v", g3)
+	}
+}
+
+func mustPeriod(t *testing.T, s string) caltime.Period {
+	t.Helper()
+	p, err := caltime.ParsePeriod(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestAggregateQ5Figure5(t *testing.T) {
+	// Q5 = α[Time.month, URL.domain] under availability: fact_03 and
+	// fact_12 stay at quarter granularity, fact_45 stays at month,
+	// fact_6 aggregates to (2000/1, gatech.edu).
+	_, env, red := reducedPaperMO(t)
+	res, err := Aggregate(red, granOf(t, env, "Time.month", "URL.domain"), Availability)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 4 {
+		t.Fatalf("Q5 has %d facts, want 4:\n%s", res.Len(), res.Dump())
+	}
+	want := map[string]string{
+		"fact_03": "1999Q4, amazon.com",
+		"fact_12": "1999Q4, cnn.com",
+		"fact_45": "2000/1, cnn.com",
+		"fact_6":  "2000/1, gatech.edu",
+	}
+	for f := 0; f < res.Len(); f++ {
+		fid := mdm.FactID(f)
+		if cell, ok := want[res.Name(fid)]; !ok || res.CellString(fid) != cell {
+			t.Errorf("%s -> %q, want %q", res.Name(fid), res.CellString(fid), cell)
+		}
+	}
+	// Figure 5's measures for fact_6 at month level: (1, 32, 1, 12k).
+	for f := 0; f < res.Len(); f++ {
+		fid := mdm.FactID(f)
+		if res.Name(fid) == "fact_6" && res.Measure(fid, 1) != 32 {
+			t.Errorf("fact_6 dwell = %v", res.Measure(fid, 1))
+		}
+	}
+}
+
+func TestAggregateQ4YearDomain(t *testing.T) {
+	// Q4 = α[Time.year, URL.domain]: every fact reaches the requested
+	// granularity; the 1999 cnn/amazon facts stay separate by domain.
+	_, env, red := reducedPaperMO(t)
+	res, err := Aggregate(red, granOf(t, env, "Time.year", "URL.domain"), Availability)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 4 {
+		t.Fatalf("Q4 has %d facts, want 4:\n%s", res.Len(), res.Dump())
+	}
+	for f := 0; f < res.Len(); f++ {
+		g := res.Gran(mdm.FactID(f))
+		if got := env.Schema.GranString(g); got != "(Time.year, URL.domain)" {
+			t.Errorf("Q4 fact granularity = %s", got)
+		}
+	}
+}
+
+func TestAggregateStrictVsAvailability(t *testing.T) {
+	_, env, red := reducedPaperMO(t)
+	target := granOf(t, env, "Time.month", "URL.domain")
+	strict, err := Aggregate(red, target, Strict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Strict drops fact_03 and fact_12 (quarter > month).
+	if strict.Len() != 2 || hasFact(strict, "fact_03") || hasFact(strict, "fact_12") {
+		t.Errorf("strict = %v", factNames(strict))
+	}
+}
+
+func TestAggregateLUB(t *testing.T) {
+	// LUB raises the requested (month, domain) to the finest common
+	// granularity (quarter, domain), giving a single-granularity answer.
+	_, env, red := reducedPaperMO(t)
+	res, err := Aggregate(red, granOf(t, env, "Time.month", "URL.domain"), LUB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for f := 0; f < res.Len(); f++ {
+		if got := env.Schema.GranString(res.Gran(mdm.FactID(f))); got != "(Time.quarter, URL.domain)" {
+			t.Errorf("LUB granularity = %s", got)
+		}
+	}
+	// fact_45 and fact_6 move to quarter: (2000Q1, cnn.com) and
+	// (2000Q1, gatech.edu); 3 result facts in total... fact_03 and
+	// fact_12 differ by domain, so 4.
+	if res.Len() != 4 {
+		t.Errorf("LUB facts = %v", factNames(res))
+	}
+}
+
+func TestAggregateDisaggregated(t *testing.T) {
+	// Disaggregating the quarter facts to month splits SUM measures
+	// evenly over the populated months of 1999Q4 (1999/11, 1999/12).
+	_, env, red := reducedPaperMO(t)
+	res, err := Aggregate(red, granOf(t, env, "Time.month", "URL.domain"), Disaggregated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All facts at (month, domain).
+	total := 0.0
+	for f := 0; f < res.Len(); f++ {
+		fid := mdm.FactID(f)
+		if got := env.Schema.GranString(res.Gran(fid)); got != "(Time.month, URL.domain)" {
+			t.Errorf("disaggregated granularity = %s", got)
+		}
+		total += res.Measure(fid, 1)
+	}
+	// SUM totals are preserved by even splitting.
+	if want := red.TotalMeasure(1); total != want {
+		t.Errorf("dwell total = %v, want %v", total, want)
+	}
+	// fact_03's 689 dwell splits 344.5 + 344.5 across two months.
+	found := false
+	for f := 0; f < res.Len(); f++ {
+		fid := mdm.FactID(f)
+		if strings.Contains(res.CellString(fid), "1999/11, amazon.com") {
+			found = true
+			if res.Measure(fid, 1) != 344.5 {
+				t.Errorf("split dwell = %v, want 344.5", res.Measure(fid, 1))
+			}
+		}
+	}
+	if !found {
+		t.Errorf("no disaggregated amazon fact:\n%s", res.Dump())
+	}
+}
+
+func TestAggregatePreservesSumTotals(t *testing.T) {
+	_, env, red := reducedPaperMO(t)
+	targets := [][]string{
+		{"Time.month", "URL.domain"},
+		{"Time.year", "URL.domain_grp"},
+		{"Time.quarter", "URL.TOP"},
+		{"Time.TOP", "URL.TOP"},
+	}
+	for _, refs := range targets {
+		res, err := Aggregate(red, granOf(t, env, refs...), Availability)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range env.Schema.Measures {
+			if got, want := res.TotalMeasure(j), red.TotalMeasure(j); got != want {
+				t.Errorf("α%v measure %d total = %v, want %v", refs, j, got, want)
+			}
+		}
+	}
+}
+
+func TestAggregateTopIsGrandTotal(t *testing.T) {
+	_, env, red := reducedPaperMO(t)
+	res, err := Aggregate(red, granOf(t, env, "Time.TOP", "URL.TOP"), Availability)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 1 {
+		t.Fatalf("grand total has %d facts", res.Len())
+	}
+	// Total clicks = 7, total dwell = 4165.
+	if res.Measure(0, 0) != 7 || res.Measure(0, 1) != 4165 {
+		t.Errorf("grand totals = %v, %v", res.Measure(0, 0), res.Measure(0, 1))
+	}
+}
+
+func TestAggregateErrors(t *testing.T) {
+	_, env, red := reducedPaperMO(t)
+	if _, err := Aggregate(red, mdm.Granularity{0}, Availability); err == nil {
+		t.Error("short granularity accepted")
+	}
+	if _, err := Aggregate(red, granOf(t, env, "Time.month", "URL.domain"), AggApproach(99)); err == nil {
+		t.Error("unknown approach accepted")
+	}
+}
+
+func TestApproachStrings(t *testing.T) {
+	if Conservative.String() != "conservative" || Weighted.String() != "weighted" {
+		t.Error("Approach names")
+	}
+	if Availability.String() != "availability" || Disaggregated.String() != "disaggregated" {
+		t.Error("AggApproach names")
+	}
+}

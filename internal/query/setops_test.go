@@ -1,0 +1,97 @@
+package query
+
+import (
+	"testing"
+
+	"dimred/internal/caltime"
+	"dimred/internal/mdm"
+)
+
+func TestUnionAndDifference(t *testing.T) {
+	_, env, red := reducedPaperMO(t)
+	schema := env.Schema
+	at := day(t, "2000/11/5")
+
+	// Split the reduced MO by domain group and reunite it.
+	com, err := Select(red, MustParsePred(`URL.domain_grp = ".com"`, env), at, Conservative)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edu, err := Select(red, MustParsePred(`URL.domain_grp = ".edu"`, env), at, Conservative)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if com.Len()+edu.Len() != red.Len() {
+		t.Fatalf("partition sizes %d + %d != %d", com.Len(), edu.Len(), red.Len())
+	}
+	u, err := Union(com, edu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Len() != red.Len() {
+		t.Errorf("union size = %d, want %d", u.Len(), red.Len())
+	}
+	for j := range schema.Measures {
+		if u.TotalMeasure(j) != red.TotalMeasure(j) {
+			t.Errorf("union measure %d total = %v, want %v", j, u.TotalMeasure(j), red.TotalMeasure(j))
+		}
+	}
+
+	// Overlapping union merges same-cell facts by the default functions.
+	u2, err := Union(com, com)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u2.Len() != com.Len() {
+		t.Errorf("self-union size = %d, want %d", u2.Len(), com.Len())
+	}
+	if got, want := u2.TotalMeasure(1), 2*com.TotalMeasure(1); got != want {
+		t.Errorf("self-union dwell = %v, want %v", got, want)
+	}
+
+	// Difference removes cells present in the subtrahend.
+	d, err := Difference(red, com)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != edu.Len() {
+		t.Errorf("difference size = %d, want %d", d.Len(), edu.Len())
+	}
+	// A \ A = empty; A \ empty = A.
+	empty, err := Difference(red, red)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if empty.Len() != 0 {
+		t.Error("A \\ A not empty")
+	}
+	same, err := Difference(red, mdm.NewMO(schema))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if same.Len() != red.Len() {
+		t.Error("A \\ {} changed")
+	}
+
+	// Mixed schemas are rejected.
+	other := mdm.NewMO(mustOtherSchema(t))
+	if _, err := Union(red, other); err == nil {
+		t.Error("cross-schema union accepted")
+	}
+	if _, err := Difference(red, other); err == nil {
+		t.Error("cross-schema difference accepted")
+	}
+	_ = caltime.Day(0)
+}
+
+func mustOtherSchema(t *testing.T) *mdm.Schema {
+	t.Helper()
+	d := mdm.NewDimension("X")
+	d.MustAddCategory("leaf", false)
+	d.MustFinalize()
+	s, err := mdm.NewSchema("F", []*mdm.Dimension{d}, []mdm.Measure{{Name: "m", Agg: mdm.AggSum}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}

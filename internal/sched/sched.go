@@ -1,0 +1,114 @@
+// Package sched schedules subcube synchronization per Section 7.2 of
+// the paper: subcubes get un-synchronized only when time passes or data
+// is bulk-loaded, and it suffices to synchronize on every bulk load and
+// "at least once per significant time period, the second-lowest
+// granularity at which the NOW-variable is used in an action" — then a
+// fact is never more than one parent-child generation out of place,
+// which is the assumption the un-synchronized query strategy relies on.
+package sched
+
+import (
+	"dimred/internal/caltime"
+	"dimred/internal/spec"
+	"dimred/internal/subcube"
+)
+
+// SignificantPeriod derives the synchronization period from a
+// specification: the second-lowest calendar unit among the NOW-relative
+// constraints (the lowest when only one unit occurs). ok is false when
+// the specification has no NOW-relative action, in which case time alone
+// never un-synchronizes the cubes.
+func SignificantPeriod(sp *spec.Spec) (caltime.Unit, bool) {
+	seen := make(map[caltime.Unit]bool)
+	var units []caltime.Unit
+	for _, a := range sp.Actions() {
+		for _, u := range a.NowUnits(nil) {
+			if !seen[u] {
+				seen[u] = true
+				units = append(units, u)
+			}
+		}
+	}
+	if len(units) == 0 {
+		return 0, false
+	}
+	// Order by containment-period length: day < week < month < quarter <
+	// year. The Unit constants are already in that order.
+	lo, second := units[0], units[0]
+	for _, u := range units[1:] {
+		if u < lo {
+			second = lo
+			lo = u
+		} else if u < second || second == lo {
+			second = u
+		}
+	}
+	if len(units) == 1 {
+		return lo, true
+	}
+	return second, true
+}
+
+// Scheduler drives a cube set's synchronization against a virtual clock.
+type Scheduler struct {
+	cubes  *subcube.CubeSet
+	unit   caltime.Unit
+	timed  bool // time passage requires syncing
+	now    caltime.Day
+	synced bool
+	// Syncs counts synchronizations performed, for experiments.
+	Syncs int
+	// Moved counts rows migrated across all synchronizations.
+	Moved int
+}
+
+// New derives a scheduler for the cube set's specification.
+func New(cs *subcube.CubeSet) *Scheduler {
+	u, ok := SignificantPeriod(cs.Spec())
+	return &Scheduler{cubes: cs, unit: u, timed: ok}
+}
+
+// Unit returns the significant period's unit; ok is false when time
+// passage never requires synchronization.
+func (s *Scheduler) Unit() (caltime.Unit, bool) { return s.unit, s.timed }
+
+// Now returns the scheduler's current clock.
+func (s *Scheduler) Now() caltime.Day { return s.now }
+
+// AdvanceTo moves the clock to t, synchronizing when a significant
+// period boundary was crossed since the last synchronization. It reports
+// whether a synchronization ran.
+func (s *Scheduler) AdvanceTo(t caltime.Day) (bool, error) {
+	if t < s.now {
+		return false, nil // the clock never runs backwards
+	}
+	prev := s.now
+	s.now = t
+	if !s.timed {
+		return false, nil
+	}
+	if s.synced && caltime.PeriodOf(prev, s.unit) == caltime.PeriodOf(t, s.unit) {
+		return false, nil
+	}
+	return true, s.syncNow()
+}
+
+// OnBulkLoad synchronizes after a bulk load, as the paper prescribes
+// ("synchronization is scheduled at the time of insertion").
+func (s *Scheduler) OnBulkLoad() error { return s.syncNow() }
+
+// Restore re-applies snapshot bookkeeping without synchronizing.
+func (s *Scheduler) Restore(now caltime.Day, synced bool) {
+	s.now, s.synced = now, synced
+}
+
+func (s *Scheduler) syncNow() error {
+	moved, err := s.cubes.Sync(s.now)
+	if err != nil {
+		return err
+	}
+	s.Syncs++
+	s.Moved += moved
+	s.synced = true
+	return nil
+}

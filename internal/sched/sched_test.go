@@ -1,0 +1,132 @@
+package sched
+
+import (
+	"testing"
+
+	"dimred/internal/caltime"
+	"dimred/internal/dims"
+	"dimred/internal/spec"
+	"dimred/internal/subcube"
+)
+
+func buildSpec(t *testing.T, actions ...string) (*dims.PaperObject, *spec.Spec) {
+	t.Helper()
+	p := dims.MustPaperMO()
+	env, err := spec.NewEnv(p.Schema, "Time", p.Time)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var compiled []*spec.Action
+	for i, src := range actions {
+		compiled = append(compiled, spec.MustCompileString(
+			[]string{"x1", "x2", "x3"}[i], src, env))
+	}
+	s, err := spec.New(env, compiled...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, s
+}
+
+func TestSignificantPeriod(t *testing.T) {
+	// The paper's example: NOW at month and quarter granularity →
+	// synchronize once per quarter.
+	_, s := buildSpec(t,
+		`aggregate [Time.month, URL.domain] where URL.domain_grp = ".com" and NOW - 12 months < Time.month and Time.month <= NOW - 6 months`,
+		`aggregate [Time.quarter, URL.domain] where URL.domain_grp = ".com" and Time.quarter <= NOW - 4 quarters`)
+	u, ok := SignificantPeriod(s)
+	if !ok || u != caltime.UnitQuarter {
+		t.Errorf("period = %v, %v; want quarter", u, ok)
+	}
+
+	// A single NOW unit gives that unit.
+	_, s2 := buildSpec(t,
+		`aggregate [Time.month, URL.domain] where Time.month <= NOW - 6 months`)
+	u, ok = SignificantPeriod(s2)
+	if !ok || u != caltime.UnitMonth {
+		t.Errorf("period = %v, %v; want month", u, ok)
+	}
+
+	// No NOW usage: time passage never un-synchronizes.
+	_, s3 := buildSpec(t,
+		`aggregate [Time.month, URL.domain] where Time.month <= 1999/12`)
+	if _, ok := SignificantPeriod(s3); ok {
+		t.Error("fixed spec should have no significant period")
+	}
+}
+
+func TestSchedulerAdvance(t *testing.T) {
+	p, s := buildSpec(t,
+		`aggregate [Time.month, URL.domain] where Time.month <= NOW - 6 months`)
+	cs, err := subcube.New(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cs.InsertMO(p.MO); err != nil {
+		t.Fatal(err)
+	}
+	sc := New(cs)
+	if u, ok := sc.Unit(); !ok || u != caltime.UnitMonth {
+		t.Fatalf("unit = %v %v", u, ok)
+	}
+	// First advance synchronizes.
+	synced, err := sc.AdvanceTo(caltime.Date(2000, 3, 10))
+	if err != nil || !synced {
+		t.Fatalf("first advance: synced=%v err=%v", synced, err)
+	}
+	// Same month: no re-sync.
+	synced, err = sc.AdvanceTo(caltime.Date(2000, 3, 25))
+	if err != nil || synced {
+		t.Errorf("same-month advance synced=%v err=%v", synced, err)
+	}
+	// Next month: sync again, and the June-1999-or-older facts migrate.
+	synced, err = sc.AdvanceTo(caltime.Date(2000, 6, 2))
+	if err != nil || !synced {
+		t.Errorf("cross-month advance synced=%v err=%v", synced, err)
+	}
+	if sc.Syncs != 2 {
+		t.Errorf("Syncs = %d", sc.Syncs)
+	}
+	if sc.Moved == 0 {
+		t.Error("no rows migrated by 2000/6")
+	}
+	// Clock never runs backwards.
+	if synced, _ := sc.AdvanceTo(caltime.Date(2000, 1, 1)); synced {
+		t.Error("backwards advance synchronized")
+	}
+	if sc.Now() != caltime.Date(2000, 6, 2) {
+		t.Error("backwards advance moved the clock")
+	}
+	// Bulk load forces a sync regardless of period.
+	if err := sc.OnBulkLoad(); err != nil {
+		t.Fatal(err)
+	}
+	if sc.Syncs != 3 {
+		t.Errorf("Syncs after bulk load = %d", sc.Syncs)
+	}
+}
+
+func TestSchedulerFixedSpecNeverTimesOut(t *testing.T) {
+	p, s := buildSpec(t,
+		`aggregate [Time.month, URL.domain] where Time.month <= 1999/12`)
+	cs, err := subcube.New(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cs.InsertMO(p.MO); err != nil {
+		t.Fatal(err)
+	}
+	sc := New(cs)
+	for _, d := range []caltime.Day{caltime.Date(2000, 1, 1), caltime.Date(2003, 1, 1)} {
+		if synced, err := sc.AdvanceTo(d); err != nil || synced {
+			t.Errorf("fixed spec synced at %v", d)
+		}
+	}
+	// But bulk loads still synchronize.
+	if err := sc.OnBulkLoad(); err != nil {
+		t.Fatal(err)
+	}
+	if sc.Syncs != 1 {
+		t.Errorf("Syncs = %d", sc.Syncs)
+	}
+}

@@ -1,0 +1,602 @@
+package spec
+
+import (
+	"fmt"
+
+	"dimred/internal/caltime"
+	"dimred/internal/expr"
+	"dimred/internal/mdm"
+	"dimred/internal/prover"
+)
+
+// test is one compiled atomic constraint of a DNF disjunct: a comparison
+// or membership test on one category of one dimension. Value operands
+// are kept by name so the test stays correct as new dimension values
+// arrive after compilation.
+type test struct {
+	dim     int
+	cat     mdm.CategoryID
+	isTime  bool
+	op      expr.Op
+	unit    caltime.Unit   // time tests
+	timeRHS []caltime.Expr // time tests: 1 expr for comparisons, n for sets
+	valRHS  []string       // value tests: 1 name for comparisons, n for sets
+}
+
+// disjunct is one conjunct list of the action's DNF predicate.
+type disjunct struct {
+	tests []test
+	never bool // the disjunct contained the constant false
+}
+
+// Action is a compiled reduction action p(α[Clist] σ[Pexp](O)), or a
+// fact-deletion action "delete σ[Pexp](O)" (the Section 8 extension),
+// which behaves as aggregation to a granularity above everything.
+type Action struct {
+	name      string
+	src       expr.ActionSpec
+	env       *Env
+	target    mdm.Granularity // the function Cat (Eq. 8); all-top for deletions
+	isDelete  bool
+	disjuncts []disjunct
+	usesNow   bool
+	growing   bool
+}
+
+// Compile validates and compiles a parsed action specification against
+// the environment, enforcing the conventions of Section 4.1:
+//
+//   - Clist names exactly one category per dimension of the schema;
+//   - for every predicate constraint on dimension i at category C, the
+//     Clist category C_i satisfies C_i <=_T C, so the predicate remains
+//     evaluable on aggregated facts;
+//   - comparison operators must be defined for the category (inequalities
+//     need an ordered category);
+//   - anchored time literals must have the type of the compared category;
+//   - time expressions (and NOW) may only constrain the time dimension.
+func Compile(name string, src expr.ActionSpec, env *Env) (*Action, error) {
+	var target mdm.Granularity
+	if src.Delete {
+		// Deletion aggregates "to nothing": model it as the all-top
+		// granularity so the <=_V order places it above every action.
+		target = make(mdm.Granularity, len(env.Schema.Dims))
+		for i, dim := range env.Schema.Dims {
+			target[i] = dim.Top()
+		}
+	} else {
+		refs := make([]string, len(src.Targets))
+		for i, r := range src.Targets {
+			refs[i] = r.String()
+		}
+		var err error
+		target, err = env.Schema.ParseGranularity(refs)
+		if err != nil {
+			return nil, fmt.Errorf("spec: action %s: %w", name, err)
+		}
+	}
+	d, err := expr.ToDNF(src.Pred)
+	if err != nil {
+		return nil, fmt.Errorf("spec: action %s: %w", name, err)
+	}
+	a := &Action{name: name, src: src, env: env, target: target, isDelete: src.Delete, usesNow: expr.UsesNow(src.Pred)}
+	for _, dj := range d.Disjuncts {
+		cd := disjunct{}
+		for _, atom := range dj {
+			t, err := compileAtom(name, atom, env)
+			if err != nil {
+				return nil, err
+			}
+			// The Clist category must not exceed the predicate category.
+			// (Deletion removes the facts, so continuous evaluability of
+			// the predicate is moot and the check does not apply.)
+			if !src.Delete && !env.Schema.Dims[t.dim].CatLE(target[t.dim], t.cat) {
+				return nil, fmt.Errorf("spec: action %s: aggregates dimension %s to %s, above predicate category %s",
+					name, env.Schema.Dims[t.dim].Name(),
+					env.Schema.Dims[t.dim].Category(target[t.dim]).Name,
+					env.Schema.Dims[t.dim].Category(t.cat).Name)
+			}
+			cd.tests = append(cd.tests, t)
+		}
+		a.disjuncts = append(a.disjuncts, cd)
+	}
+	a.growing = a.classifyGrowing()
+	return a, nil
+}
+
+// MustCompileString parses and compiles a concrete-syntax action,
+// panicking on error; intended for tests and example setup with constant
+// inputs.
+func MustCompileString(name, src string, env *Env) *Action {
+	parsed, err := expr.ParseAction(src)
+	if err != nil {
+		panic(err)
+	}
+	a, err := Compile(name, parsed, env)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// CompileString parses and compiles a concrete-syntax action.
+func CompileString(name, src string, env *Env) (*Action, error) {
+	parsed, err := expr.ParseAction(src)
+	if err != nil {
+		return nil, fmt.Errorf("spec: action %s: %w", name, err)
+	}
+	return Compile(name, parsed, env)
+}
+
+func compileAtom(name string, atom expr.Pred, env *Env) (test, error) {
+	resolve := func(ref expr.CatRef) (int, mdm.CategoryID, error) {
+		di := env.Schema.DimIndex(ref.Dim)
+		if di < 0 {
+			return 0, 0, fmt.Errorf("spec: action %s: unknown dimension %q", name, ref.Dim)
+		}
+		c, ok := env.Schema.Dims[di].CategoryByName(ref.Cat)
+		if !ok {
+			return 0, 0, fmt.Errorf("spec: action %s: dimension %s has no category %q", name, ref.Dim, ref.Cat)
+		}
+		return di, c, nil
+	}
+	switch q := atom.(type) {
+	case expr.TimeCmp:
+		di, c, err := resolve(q.Ref)
+		if err != nil {
+			return test{}, err
+		}
+		u, err := timeUnit(name, q.Ref, di, c, env, []caltime.Expr{q.RHS})
+		if err != nil {
+			return test{}, err
+		}
+		return test{dim: di, cat: c, isTime: true, op: q.Op, unit: u, timeRHS: []caltime.Expr{q.RHS}}, nil
+	case expr.TimeIn:
+		di, c, err := resolve(q.Ref)
+		if err != nil {
+			return test{}, err
+		}
+		u, err := timeUnit(name, q.Ref, di, c, env, q.Set)
+		if err != nil {
+			return test{}, err
+		}
+		op := expr.OpIn
+		if q.Negate {
+			op = expr.OpNotIn
+		}
+		return test{dim: di, cat: c, isTime: true, op: op, unit: u, timeRHS: q.Set}, nil
+	case expr.ValueCmp:
+		di, c, err := resolve(q.Ref)
+		if err != nil {
+			return test{}, err
+		}
+		if di == env.TimeDim {
+			return test{}, fmt.Errorf("spec: action %s: time category %s compared against value literal %q",
+				name, q.Ref, q.RHS)
+		}
+		if q.Op != expr.OpEQ && q.Op != expr.OpNE && !env.Schema.Dims[di].Category(c).Ordered {
+			return test{}, fmt.Errorf("spec: action %s: operator %s is not defined for unordered category %s",
+				name, q.Op, q.Ref)
+		}
+		return test{dim: di, cat: c, op: q.Op, valRHS: []string{q.RHS}}, nil
+	case expr.ValueIn:
+		di, c, err := resolve(q.Ref)
+		if err != nil {
+			return test{}, err
+		}
+		if di == env.TimeDim {
+			return test{}, fmt.Errorf("spec: action %s: time category %s tested against value literals", name, q.Ref)
+		}
+		op := expr.OpIn
+		if q.Negate {
+			op = expr.OpNotIn
+		}
+		return test{dim: di, cat: c, op: op, valRHS: q.Set}, nil
+	case expr.Bool:
+		// The constant true compiles to an empty test list; false marks
+		// the disjunct unsatisfiable. Encode as a sentinel test on dim 0.
+		if q.Value {
+			return test{dim: -1}, nil
+		}
+		return test{dim: -2}, nil
+	}
+	return test{}, fmt.Errorf("spec: action %s: unsupported atom %T", name, atom)
+}
+
+func timeUnit(name string, ref expr.CatRef, di int, c mdm.CategoryID, env *Env, exprs []caltime.Expr) (caltime.Unit, error) {
+	if di != env.TimeDim {
+		return 0, fmt.Errorf("spec: action %s: time expression constrains non-time dimension %s", name, ref.Dim)
+	}
+	u, ok := env.unitOf(c)
+	if !ok {
+		return 0, fmt.Errorf("spec: action %s: category %s has no calendar unit", name, ref)
+	}
+	for _, e := range exprs {
+		if bu, anchored := e.BaseUnit(); anchored && bu != u {
+			return 0, fmt.Errorf("spec: action %s: literal %s has type %s, category %s requires %s",
+				name, e, bu, ref, u)
+		}
+	}
+	return u, nil
+}
+
+// Name returns the action's name within its specification.
+func (a *Action) Name() string { return a.name }
+
+// Source returns the parsed form the action was compiled from.
+func (a *Action) Source() expr.ActionSpec { return a.src }
+
+// Target returns Cat(a): the granularity the action aggregates to
+// (Eq. 8). The caller must not modify the slice.
+func (a *Action) Target() mdm.Granularity { return a.target }
+
+// TargetIn returns Cat_i(a) (Eq. 7).
+func (a *Action) TargetIn(dim int) mdm.CategoryID { return a.target[dim] }
+
+// UsesNow reports whether the action is dynamic (references NOW).
+func (a *Action) UsesNow() bool { return a.usesNow }
+
+// IsDelete reports whether the action physically deletes the selected
+// facts rather than aggregating them.
+func (a *Action) IsDelete() bool { return a.isDelete }
+
+// Growing reports whether the action is growing by itself: once a cell
+// satisfies its predicate it always will (boundary categories A-E of
+// Section 5.3). Fixed predicates are growing; a NOW-relative bound is
+// growing only where it extends the selected window over time.
+func (a *Action) Growing() bool { return a.growing }
+
+func (a *Action) classifyGrowing() bool {
+	if a.isDelete {
+		// Deletion is its own irreversibility: cells escaping a shrunken
+		// window were already physically removed, so no aggregation
+		// level ever decreases. Deletion actions carry no Growing
+		// obligation (they still serve as covers for others).
+		return true
+	}
+	for _, d := range a.disjuncts {
+		for _, t := range d.tests {
+			if !t.isTime {
+				continue
+			}
+			nowRel := false
+			for _, e := range t.timeRHS {
+				if e.IsNowRelative() {
+					nowRel = true
+					break
+				}
+			}
+			if !nowRel {
+				continue
+			}
+			switch t.op {
+			case expr.OpLT, expr.OpLE:
+				// Growing upper bound (categories B and D).
+			default:
+				// A NOW-relative lower bound (>, >=), equality or
+				// membership moves cells out of the window over time:
+				// categories F, G, H.
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TimeHullAt returns a day-interval hull of the action's predicate with
+// NOW bound to t: no cell whose time value lies entirely outside
+// [lo, hi] satisfies the predicate at t. bounded is false when some
+// disjunct leaves time unconstrained. The subcube engine uses this to
+// skip cubes during synchronization.
+func (a *Action) TimeHullAt(t caltime.Day) (lo, hi caltime.Day, bounded bool) {
+	const (
+		minDay = caltime.Day(-1 << 60)
+		maxDay = caltime.Day(1 << 60)
+	)
+	lo, hi = maxDay, minDay
+	for _, d := range a.disjuncts {
+		dLo, dHi := minDay, maxDay
+		constrained := false
+		for _, tst := range d.tests {
+			if !tst.isTime {
+				continue
+			}
+			switch tst.op {
+			case expr.OpLT:
+				p := tst.timeRHS[0].EvalPeriod(t, tst.unit)
+				if v := p.First() - 1; v < dHi {
+					dHi = v
+				}
+				constrained = true
+			case expr.OpLE:
+				p := tst.timeRHS[0].EvalPeriod(t, tst.unit)
+				if v := p.Last(); v < dHi {
+					dHi = v
+				}
+				constrained = true
+			case expr.OpEQ:
+				p := tst.timeRHS[0].EvalPeriod(t, tst.unit)
+				if v := p.First(); v > dLo {
+					dLo = v
+				}
+				if v := p.Last(); v < dHi {
+					dHi = v
+				}
+				constrained = true
+			case expr.OpGE:
+				p := tst.timeRHS[0].EvalPeriod(t, tst.unit)
+				if v := p.First(); v > dLo {
+					dLo = v
+				}
+				constrained = true
+			case expr.OpGT:
+				p := tst.timeRHS[0].EvalPeriod(t, tst.unit)
+				if v := p.Last() + 1; v > dLo {
+					dLo = v
+				}
+				constrained = true
+			case expr.OpIn:
+				inLo, inHi := maxDay, minDay
+				for _, e := range tst.timeRHS {
+					p := e.EvalPeriod(t, tst.unit)
+					if v := p.First(); v < inLo {
+						inLo = v
+					}
+					if v := p.Last(); v > inHi {
+						inHi = v
+					}
+				}
+				if inLo > dLo {
+					dLo = inLo
+				}
+				if inHi < dHi {
+					dHi = inHi
+				}
+				constrained = true
+			}
+		}
+		if !constrained {
+			return 0, 0, false
+		}
+		if dLo < lo {
+			lo = dLo
+		}
+		if dHi > hi {
+			hi = dHi
+		}
+	}
+	if len(a.disjuncts) == 0 {
+		return 0, 0, false
+	}
+	return lo, hi, true
+}
+
+// NowUnits appends the calendar units of every NOW-relative time
+// constraint in the action to dst; the synchronization scheduler derives
+// the "significant time period" of Section 7.2 from these.
+func (a *Action) NowUnits(dst []caltime.Unit) []caltime.Unit {
+	for _, d := range a.disjuncts {
+		for _, t := range d.tests {
+			if !t.isTime {
+				continue
+			}
+			for _, e := range t.timeRHS {
+				if e.IsNowRelative() {
+					dst = append(dst, t.unit)
+					break
+				}
+			}
+		}
+	}
+	return dst
+}
+
+// LessEq reports a1 <=_V a2 (Eq. 3): a2 aggregates at least as high in
+// every dimension. Deletion actions sit strictly above every
+// aggregation (and are mutually comparable).
+func LessEq(a1, a2 *Action) bool {
+	if a2.isDelete {
+		return true
+	}
+	if a1.isDelete {
+		return false
+	}
+	return a1.env.Schema.GranLE(a1.target, a2.target)
+}
+
+// SatisfiedBy evaluates the action's predicate on a cell at time t: the
+// membership test of Pred(a, t) (Eq. 9), with NOW bound to t. The cell
+// holds one value per dimension, at any granularity. A constraint at a
+// category below the cell's granularity is evaluated conservatively
+// (every populated descendant must satisfy it).
+func (a *Action) SatisfiedBy(cell []mdm.ValueID, t caltime.Day) bool {
+	for _, d := range a.disjuncts {
+		if a.disjunctSatisfied(d, cell, t) {
+			return true
+		}
+	}
+	return false
+}
+
+func (a *Action) disjunctSatisfied(d disjunct, cell []mdm.ValueID, t caltime.Day) bool {
+	if d.never {
+		return false
+	}
+	for _, tst := range d.tests {
+		switch tst.dim {
+		case -1: // constant true
+			continue
+		case -2: // constant false
+			return false
+		}
+		dim := a.env.Schema.Dims[tst.dim]
+		v := cell[tst.dim]
+		anc := dim.AncestorAt(v, tst.cat)
+		if anc != mdm.NoValue {
+			if !a.testValue(tst, dim, anc, t) {
+				return false
+			}
+			continue
+		}
+		// Cell value is above the constrained category: conservative
+		// evaluation over its populated descendants.
+		descendants := dim.DrillDown(v, tst.cat)
+		if len(descendants) == 0 {
+			return false
+		}
+		for _, w := range descendants {
+			if !a.testValue(tst, dim, w, t) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func (a *Action) testValue(tst test, dim *mdm.Dimension, v mdm.ValueID, t caltime.Day) bool {
+	if tst.isTime {
+		idx := dim.ValueOrd(v)
+		switch tst.op {
+		case expr.OpIn, expr.OpNotIn:
+			found := false
+			for _, e := range tst.timeRHS {
+				if e.EvalPeriod(t, tst.unit).Index == idx {
+					found = true
+					break
+				}
+			}
+			return found == (tst.op == expr.OpIn)
+		}
+		rhs := tst.timeRHS[0].EvalPeriod(t, tst.unit).Index
+		switch tst.op {
+		case expr.OpLT:
+			return idx < rhs
+		case expr.OpLE:
+			return idx <= rhs
+		case expr.OpEQ:
+			return idx == rhs
+		case expr.OpNE:
+			return idx != rhs
+		case expr.OpGE:
+			return idx >= rhs
+		case expr.OpGT:
+			return idx > rhs
+		}
+		return false
+	}
+	name := dim.ValueName(v)
+	switch tst.op {
+	case expr.OpIn, expr.OpNotIn:
+		found := false
+		for _, s := range tst.valRHS {
+			if s == name {
+				found = true
+				break
+			}
+		}
+		return found == (tst.op == expr.OpIn)
+	case expr.OpEQ:
+		return name == tst.valRHS[0]
+	case expr.OpNE:
+		return name != tst.valRHS[0]
+	}
+	// Ordered comparison on a non-time category: compare by the
+	// category's value order; an unknown operand satisfies nothing.
+	rhs, ok := dim.ValueByName(tst.cat, tst.valRHS[0])
+	if !ok {
+		return false
+	}
+	lhs, rhsOrd := dim.ValueOrd(v), dim.ValueOrd(rhs)
+	switch tst.op {
+	case expr.OpLT:
+		return lhs < rhsOrd
+	case expr.OpLE:
+		return lhs <= rhsOrd
+	case expr.OpGE:
+		return lhs >= rhsOrd
+	case expr.OpGT:
+		return lhs > rhsOrd
+	}
+	return false
+}
+
+// Regions materializes the action's DNF disjuncts as decision-procedure
+// regions against the current dimension contents. Regions are built on
+// demand because the value population (and hence leaf universes) grows
+// over time.
+func (a *Action) Regions() []prover.Region {
+	out := make([]prover.Region, 0, len(a.disjuncts))
+	for _, d := range a.disjuncts {
+		out = append(out, a.regionOf(d))
+	}
+	return out
+}
+
+func (a *Action) regionOf(d disjunct) prover.Region {
+	n := len(a.env.Schema.Dims)
+	r := prover.Region{Dims: make([]prover.DimConstraint, n)}
+	for i := range r.Dims {
+		r.Dims[i].IsTime = i == a.env.TimeDim
+	}
+	if d.never {
+		r.False = true
+		return r
+	}
+	for _, tst := range d.tests {
+		switch tst.dim {
+		case -1:
+			continue
+		case -2:
+			r.False = true
+			return r
+		}
+		if tst.isTime {
+			r.Dims[tst.dim].Time = append(r.Dims[tst.dim].Time, prover.TimeAtom{
+				Unit: tst.unit, Op: tst.op, Exprs: tst.timeRHS,
+			})
+			continue
+		}
+		dim := a.env.Schema.Dims[tst.dim]
+		leaf := a.leafSetFor(tst, dim)
+		if r.Dims[tst.dim].Fixed == nil {
+			r.Dims[tst.dim].Fixed = leaf
+		} else {
+			r.Dims[tst.dim].Fixed.IntersectWith(leaf)
+		}
+	}
+	return r
+}
+
+// leafSetFor materializes the bottom-category value set selected by a
+// value test.
+func (a *Action) leafSetFor(tst test, dim *mdm.Dimension) *prover.Set {
+	bottom := dim.Bottom()
+	leaves := dim.ValuesIn(bottom)
+	// Size matches Env.Universes: an empty dimension has one phantom
+	// leaf, which no value test selects.
+	n := len(leaves)
+	if n == 0 {
+		n = 1
+	}
+	set := prover.NewSet(n)
+	// Leaf index = position in the bottom category's insertion order.
+	for idx, leaf := range leaves {
+		anc := dim.AncestorAt(leaf, tst.cat)
+		if anc == mdm.NoValue {
+			continue
+		}
+		if a.testValue(tst, dim, anc, 0) {
+			set.Add(idx)
+		}
+	}
+	return set
+}
+
+// String renders the action as "name: <concrete syntax>".
+func (a *Action) String() string {
+	return a.name + ": " + a.src.String()
+}
+
+// DescribeTargets renders Cat(a), e.g. "(Time.month, URL.domain)".
+func (a *Action) DescribeTargets() string {
+	return a.env.Schema.GranString(a.target)
+}

@@ -1,0 +1,106 @@
+package spec
+
+import (
+	"fmt"
+	"testing"
+
+	"dimred/internal/caltime"
+	"dimred/internal/workload"
+)
+
+// BenchmarkCheckGrowingScaling is the soundness-check ablation: cost of
+// the Growing decision as the number of chained shrinking windows (each
+// covered by the next) grows. The paper argues the |A|^2 NonCrossing
+// cost is acceptable because specs are small and updates rare; this
+// measures our exact Growing procedure under the same assumption.
+func BenchmarkCheckGrowingScaling(b *testing.B) {
+	obj, err := workload.BuildClickMO(workload.ClickConfig{
+		Seed: 3, Start: caltime.Date(2000, 1, 1), Days: 365, ClicksPerDay: 5,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	env, err := NewEnv(obj.Schema, "Time", obj.Time)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, n := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("windows=%d", n), func(b *testing.B) {
+			var actions []*Action
+			// Chain: window i covers (NOW-6(i+1), NOW-6i] months at
+			// granularity month; a final unbounded quarter action covers
+			// the last window's shrinkage.
+			for i := 0; i < n; i++ {
+				src := fmt.Sprintf(
+					`aggregate [Time.month, URL.domain] where NOW - %d months < Time.month and Time.month <= NOW - %d months`,
+					6*(i+2), 6*(i+1))
+				actions = append(actions, MustCompileString(fmt.Sprintf("w%d", i), src, env))
+			}
+			actions = append(actions, MustCompileString("tail",
+				fmt.Sprintf(`aggregate [Time.quarter, URL.domain] where Time.quarter <= NOW - %d quarters`, 2*(n+1)), env))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := CheckGrowing(env, actions); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkSatisfiedBy(b *testing.B) {
+	obj, err := workload.BuildClickMO(workload.ClickConfig{
+		Seed: 4, Start: caltime.Date(2000, 1, 1), Days: 60, ClicksPerDay: 10,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	env, err := NewEnv(obj.Schema, "Time", obj.Time)
+	if err != nil {
+		b.Fatal(err)
+	}
+	a := MustCompileString("a",
+		`aggregate [Time.month, URL.domain] where URL.domain_grp = ".com" and Time.month <= NOW - 2 months`, env)
+	cell := obj.MO.Refs(0)
+	at := caltime.Date(2000, 6, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = a.SatisfiedBy(cell, at)
+	}
+}
+
+// BenchmarkTheorem1Ablation measures what the paper's Theorem 1 buys:
+// growing actions are accepted without discharging the coverage
+// obligation, versus the exhaustive check that sweeps them anyway.
+func BenchmarkTheorem1Ablation(b *testing.B) {
+	obj, err := workload.BuildClickMO(workload.ClickConfig{
+		Seed: 6, Start: caltime.Date(2000, 1, 1), Days: 365, ClicksPerDay: 5,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	env, err := NewEnv(obj.Schema, "Time", obj.Time)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// All-growing spec: the shortcut skips every action.
+	actions := []*Action{
+		MustCompileString("m", `aggregate [Time.month, URL.domain] where Time.month <= NOW - 2 months`, env),
+		MustCompileString("q", `aggregate [Time.quarter, URL.domain_grp] where Time.quarter <= NOW - 4 quarters`, env),
+		MustCompileString("y", `aggregate [Time.year, URL.domain_grp] where Time.year <= NOW - 2 years`, env),
+	}
+	b.Run("with-theorem1", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if err := CheckGrowing(env, actions); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("exhaustive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if err := CheckGrowingExhaustive(env, actions); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,104 @@
+package spec
+
+import (
+	"strings"
+	"testing"
+
+	"dimred/internal/mdm"
+)
+
+// Tests for the fact-deletion extension (the paper's Section 8 future
+// work): "delete where <pred>" actions slot into the <=_V order above
+// every aggregation.
+
+func TestDeleteActionCompileAndOrder(t *testing.T) {
+	_, env := paperEnv(t)
+	del := MustCompileString("purge",
+		`delete where Time.year <= NOW - 5 years`, env)
+	if !del.IsDelete() {
+		t.Fatal("IsDelete false")
+	}
+	if !del.Growing() {
+		t.Error("deletion actions carry no Growing obligation")
+	}
+	if !strings.HasPrefix(del.Source().String(), "delete where") {
+		t.Errorf("rendering = %q", del.Source().String())
+	}
+	a1 := MustCompileString("a1", srcA1, env)
+	if !LessEq(a1, del) {
+		t.Error("aggregation should be <=_V deletion")
+	}
+	if LessEq(del, a1) {
+		t.Error("deletion should not be <=_V aggregation")
+	}
+	del2 := MustCompileString("purge2", `delete where Time.year <= NOW - 9 years`, env)
+	if !LessEq(del, del2) || !LessEq(del2, del) {
+		t.Error("deletions should be mutually comparable")
+	}
+}
+
+func TestDeleteActionCoversShrinkingWindow(t *testing.T) {
+	// A shrinking aggregation window covered by deletion instead of a
+	// coarser aggregation: cells escaping the window are removed, which
+	// preserves irreversibility.
+	_, env := paperEnv(t)
+	a1 := MustCompileString("a1", srcA1, env)
+	if err := CheckGrowing(env, []*Action{a1}); err == nil {
+		t.Fatal("a1 alone should violate Growing")
+	}
+	del := MustCompileString("purge",
+		`delete where URL.domain_grp = ".com" and Time.month <= NOW - 12 months`, env)
+	if err := CheckGrowing(env, []*Action{a1, del}); err != nil {
+		t.Errorf("deletion should cover a1's shrinkage: %v", err)
+	}
+	if err := CheckNonCrossing(env, []*Action{a1, del}); err != nil {
+		t.Errorf("deletion is ordered above everything: %v", err)
+	}
+}
+
+func TestDeletedByAndAggLevel(t *testing.T) {
+	p, env := paperEnv(t)
+	del := MustCompileString("purge", `delete where Time.year <= NOW - 3 years`, env)
+	a2 := MustCompileString("a2", srcA2, env)
+	s, err := New(env, a2, del)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell := p.MO.Refs(p.Facts[0]) // 1999/11/23
+	// At 2001: aggregated by a2, not deleted.
+	at := day(t, "2001/6/1")
+	if s.DeletedBy(cell, at) != nil {
+		t.Error("fact_0 should not be deleted at 2001/6/1")
+	}
+	lvl, _ := s.AggLevel(cell, at)
+	if got := env.Schema.GranString(lvl); got != "(Time.quarter, URL.domain)" {
+		t.Errorf("AggLevel = %s", got)
+	}
+	// At 2003: 1999 <= 2003-3 -> deleted. AggLevel must ignore the
+	// deletion action's synthetic all-top target.
+	late := day(t, "2003/6/1")
+	if got := s.DeletedBy(cell, late); got == nil || got.Name() != "purge" {
+		t.Errorf("DeletedBy = %v", got)
+	}
+	lvl, _ = s.AggLevel(cell, late)
+	if got := env.Schema.GranString(lvl); got != "(Time.quarter, URL.domain)" {
+		t.Errorf("AggLevel with deletion pending = %s", got)
+	}
+}
+
+func TestDeleteActionInSpecLifecycle(t *testing.T) {
+	p, env := paperEnv(t)
+	a2 := MustCompileString("a2", srcA2, env)
+	del := MustCompileString("purge", `delete where Time.year <= NOW - 3 years`, env)
+	s, err := New(env, a2, del)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Removing the deletion action later is permitted while it is not
+	// responsible for anything (the facts are merely old, not yet
+	// deleted — responsibility concerns current granularity only).
+	if err := s.Delete(p.MO, day(t, "2001/1/1"), "purge"); err != nil {
+		t.Errorf("deleting an idle purge action: %v", err)
+	}
+	_ = mdm.FactID(0)
+}

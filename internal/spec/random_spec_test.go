@@ -1,0 +1,151 @@
+package spec
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"dimred/internal/caltime"
+	"dimred/internal/mdm"
+	"dimred/internal/workload"
+)
+
+// candidateActions is a pool of syntactically valid actions with varied
+// granularities, windows and restrictions; random subsets of it form
+// random specifications.
+var candidateActions = []string{
+	`aggregate [Time.month, URL.domain] where Time.month <= NOW - 2 months`,
+	`aggregate [Time.month, URL.domain] where NOW - 8 months < Time.month and Time.month <= NOW - 2 months`,
+	`aggregate [Time.month, URL.url] where URL.domain_grp = ".com" and Time.month <= NOW - 1 month`,
+	`aggregate [Time.quarter, URL.domain] where Time.quarter <= NOW - 2 quarters`,
+	`aggregate [Time.quarter, URL.domain_grp] where Time.quarter <= NOW - 3 quarters`,
+	`aggregate [Time.year, URL.domain_grp] where Time.year <= NOW - 1 year`,
+	`aggregate [Time.week, URL.domain] where URL.domain_grp = ".edu" and Time.week <= NOW - 10 weeks`,
+	`aggregate [Time.month, URL.domain_grp] where URL.domain_grp = ".org" and Time.month <= NOW - 3 months`,
+	`aggregate [Time.month, URL.domain] where Time.month <= 2000/3`,
+	`delete where Time.year <= NOW - 2 years`,
+	`aggregate [Time.day, URL.domain] where URL.domain_grp = ".com" and Time.day <= NOW - 10 days`,
+}
+
+// TestRandomSpecsSoundness draws random action subsets; whenever the
+// constructor accepts one (i.e. the decision procedures certified
+// NonCrossing and Growing), the semantic guarantees are validated
+// empirically over a generated fact population: Cell/AggLevel never hit
+// an incomparable maximum, the aggregation level never decreases over
+// time, and deletion, once triggered, is permanent.
+func TestRandomSpecsSoundness(t *testing.T) {
+	obj, err := workload.BuildClickMO(workload.ClickConfig{
+		Seed: 55, Start: caltime.Date(2000, 1, 1), Days: 120,
+		ClicksPerDay: 6, Domains: 9, URLsPerDomain: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := NewEnv(obj.Schema, "Time", obj.Time)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(99))
+	accepted, rejected := 0, 0
+	times := []caltime.Day{
+		caltime.Date(2000, 3, 1), caltime.Date(2000, 7, 9),
+		caltime.Date(2000, 12, 30), caltime.Date(2001, 1, 1),
+		caltime.Date(2001, 8, 17), caltime.Date(2003, 2, 2),
+	}
+	for trial := 0; trial < 40; trial++ {
+		// Random subset of 1-4 candidates.
+		perm := rng.Perm(len(candidateActions))
+		n := 1 + rng.Intn(4)
+		var actions []*Action
+		for i := 0; i < n; i++ {
+			a, err := CompileString(fmt.Sprintf("r%d", i), candidateActions[perm[i]], env)
+			if err != nil {
+				t.Fatal(err)
+			}
+			actions = append(actions, a)
+		}
+		s, err := New(env, actions...)
+		if err != nil {
+			rejected++
+			continue
+		}
+		accepted++
+
+		// Empirical validation over a sample of facts.
+		for f := 0; f < obj.MO.Len(); f += 13 {
+			cell := obj.MO.Refs(mdm.FactID(f))
+			var prev mdm.Granularity
+			wasDeleted := false
+			for _, at := range times {
+				if del := s.DeletedBy(cell, at); del != nil {
+					wasDeleted = true
+					continue
+				}
+				if wasDeleted {
+					t.Fatalf("trial %d: fact undeleted at %v under accepted spec %v",
+						trial, at, names(actions))
+				}
+				lvl, _ := s.AggLevel(cell, at)
+				if prev != nil {
+					for i := range lvl {
+						if !env.Schema.Dims[i].CatLE(prev[i], lvl[i]) {
+							t.Fatalf("trial %d: AggLevel decreased in dim %d at %v under accepted spec %v",
+								trial, i, at, names(actions))
+						}
+					}
+				}
+				prev = lvl
+			}
+		}
+	}
+	if accepted == 0 {
+		t.Error("no random spec was accepted; the pool is too hostile")
+	}
+	if rejected == 0 {
+		t.Error("no random spec was rejected; the pool is too tame")
+	}
+	t.Logf("accepted %d, rejected %d", accepted, rejected)
+}
+
+func names(as []*Action) []string {
+	out := make([]string, len(as))
+	for i, a := range as {
+		out[i] = a.Source().String()
+	}
+	return out
+}
+
+// TestRandomSpecsDeletionMonotone: under accepted specs containing
+// deletion actions, DeletedBy is monotone in time for anchored-or-
+// growing deletion windows.
+func TestRandomSpecsDeletionMonotone(t *testing.T) {
+	obj, err := workload.BuildClickMO(workload.ClickConfig{
+		Seed: 56, Start: caltime.Date(2000, 1, 1), Days: 60, ClicksPerDay: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := NewEnv(obj.Schema, "Time", obj.Time)
+	if err != nil {
+		t.Fatal(err)
+	}
+	del := MustCompileString("purge", `delete where Time.quarter <= NOW - 2 quarters`, env)
+	s, err := New(env, del)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for f := 0; f < obj.MO.Len(); f += 7 {
+		cell := obj.MO.Refs(mdm.FactID(f))
+		deleted := false
+		for d := caltime.Date(2000, 1, 1); d < caltime.Date(2002, 1, 1); d += 30 {
+			now := s.DeletedBy(cell, d) != nil
+			if deleted && !now {
+				t.Fatalf("deletion not monotone for fact %d at %v", f, d)
+			}
+			deleted = now
+		}
+		if !deleted {
+			t.Errorf("fact %d never deleted", f)
+		}
+	}
+}

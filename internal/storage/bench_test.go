@@ -1,0 +1,48 @@
+package storage
+
+import (
+	"testing"
+
+	"dimred/internal/mdm"
+)
+
+func BenchmarkAppend(b *testing.B) {
+	s := New(Layout{DimCols: 2, MeasCols: 4})
+	refs := []mdm.ValueID{1, 2}
+	meas := []float64{1, 2, 3, 4}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Append(refs, meas, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkScan(b *testing.B) {
+	s := New(Layout{DimCols: 2, MeasCols: 4})
+	for i := 0; i < 10000; i++ {
+		if _, err := s.Append([]mdm.ValueID{mdm.ValueID(i), 0}, []float64{1, 2, 3, 4}, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var sum float64
+		s.Scan(func(r RowID) bool { sum += s.Measure(r, 0); return true })
+	}
+}
+
+func BenchmarkCompactHalfDead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		s := New(Layout{DimCols: 2, MeasCols: 4})
+		for j := 0; j < 10000; j++ {
+			r, _ := s.Append([]mdm.ValueID{mdm.ValueID(j), 0}, []float64{1, 2, 3, 4}, 1)
+			if j%2 == 0 {
+				s.Delete(r)
+			}
+		}
+		b.StartTimer()
+		s.Compact()
+	}
+}

@@ -1,0 +1,203 @@
+// Package storage provides an append-only columnar fact store with
+// tombstone deletion and byte accounting. It is the physical layer
+// beneath the subcube engine (Section 7's implementation strategy) and
+// the baselines: dimension references are stored as 32-bit dictionary
+// keys per column, measures as 64-bit floats per column, which matches
+// how star-schema fact tables are laid out in practice and makes the
+// paper's storage-gain claims measurable.
+package storage
+
+import (
+	"fmt"
+
+	"dimred/internal/mdm"
+)
+
+// RowID identifies a row within one Store.
+type RowID int32
+
+// Layout describes the per-row cost model of a store.
+type Layout struct {
+	DimCols  int // 4 bytes each
+	MeasCols int // 8 bytes each
+	// RowOverhead models per-row metadata (row id, validity); the
+	// default of 8 bytes is applied when zero.
+	RowOverhead int
+}
+
+// RowBytes returns the modeled size of one row.
+func (l Layout) RowBytes() int64 {
+	ov := l.RowOverhead
+	if ov == 0 {
+		ov = 8
+	}
+	return int64(4*l.DimCols + 8*l.MeasCols + ov)
+}
+
+// Store is a columnar fact store. The zero value is unusable; construct
+// with New.
+type Store struct {
+	layout Layout
+	refs   [][]mdm.ValueID
+	meas   [][]float64
+	base   []int64
+	dead   []bool
+	nDead  int
+}
+
+// New creates an empty store with the given layout.
+func New(layout Layout) *Store {
+	return &Store{
+		layout: layout,
+		refs:   make([][]mdm.ValueID, layout.DimCols),
+		meas:   make([][]float64, layout.MeasCols),
+	}
+}
+
+// Layout returns the store's layout.
+func (s *Store) Layout() Layout { return s.layout }
+
+// Append adds a row and returns its id. base counts the user-level facts
+// the row represents (at least 1).
+func (s *Store) Append(refs []mdm.ValueID, meas []float64, base int64) (RowID, error) {
+	if len(refs) != s.layout.DimCols || len(meas) != s.layout.MeasCols {
+		return 0, fmt.Errorf("storage: Append: row shape (%d, %d) does not match layout (%d, %d)",
+			len(refs), len(meas), s.layout.DimCols, s.layout.MeasCols)
+	}
+	if base < 1 {
+		base = 1
+	}
+	id := RowID(len(s.base))
+	for i := range s.refs {
+		s.refs[i] = append(s.refs[i], refs[i])
+	}
+	for j := range s.meas {
+		s.meas[j] = append(s.meas[j], meas[j])
+	}
+	s.base = append(s.base, base)
+	s.dead = append(s.dead, false)
+	return id, nil
+}
+
+// Delete tombstones a row. Deleting a dead or out-of-range row is a
+// no-op.
+func (s *Store) Delete(r RowID) {
+	if r < 0 || int(r) >= len(s.dead) || s.dead[r] {
+		return
+	}
+	s.dead[r] = true
+	s.nDead++
+}
+
+// Alive reports whether the row exists and is not deleted.
+func (s *Store) Alive(r RowID) bool {
+	return r >= 0 && int(r) < len(s.dead) && !s.dead[r]
+}
+
+// Rows returns the total number of slots, dead or alive.
+func (s *Store) Rows() int { return len(s.base) }
+
+// Live returns the number of live rows.
+func (s *Store) Live() int { return len(s.base) - s.nDead }
+
+// Bytes returns the modeled size of the live data.
+func (s *Store) Bytes() int64 { return int64(s.Live()) * s.layout.RowBytes() }
+
+// Ref returns dimension column i of row r.
+func (s *Store) Ref(r RowID, i int) mdm.ValueID { return s.refs[i][r] }
+
+// Refs copies row r's dimension columns into dst (allocating if nil).
+func (s *Store) Refs(r RowID, dst []mdm.ValueID) []mdm.ValueID {
+	if dst == nil {
+		dst = make([]mdm.ValueID, s.layout.DimCols)
+	}
+	for i := range s.refs {
+		dst[i] = s.refs[i][r]
+	}
+	return dst
+}
+
+// Measure returns measure column j of row r.
+func (s *Store) Measure(r RowID, j int) float64 { return s.meas[j][r] }
+
+// SetMeasure overwrites measure column j of row r (used by in-place
+// aggregation when rows merge into a subcube cell).
+func (s *Store) SetMeasure(r RowID, j int, v float64) { s.meas[j][r] = v }
+
+// Base returns the user-fact count of row r.
+func (s *Store) Base(r RowID) int64 { return s.base[r] }
+
+// AddBase increases the user-fact count of row r.
+func (s *Store) AddBase(r RowID, n int64) { s.base[r] += n }
+
+// Scan calls fn for every live row in id order until fn returns false.
+func (s *Store) Scan(fn func(r RowID) bool) {
+	for r := range s.base {
+		if s.dead[r] {
+			continue
+		}
+		if !fn(RowID(r)) {
+			return
+		}
+	}
+}
+
+// Compact removes tombstoned rows, invalidating all previously issued
+// RowIDs. It returns a mapping from old to new ids (mdm.NoValue-like -1
+// for deleted rows) so indexes can be rebuilt.
+func (s *Store) Compact() []RowID {
+	remap := make([]RowID, len(s.base))
+	w := 0
+	for r := range s.base {
+		if s.dead[r] {
+			remap[r] = -1
+			continue
+		}
+		remap[r] = RowID(w)
+		if w != r {
+			for i := range s.refs {
+				s.refs[i][w] = s.refs[i][r]
+			}
+			for j := range s.meas {
+				s.meas[j][w] = s.meas[j][r]
+			}
+			s.base[w] = s.base[r]
+		}
+		w++
+	}
+	for i := range s.refs {
+		s.refs[i] = s.refs[i][:w]
+	}
+	for j := range s.meas {
+		s.meas[j] = s.meas[j][:w]
+	}
+	s.base = s.base[:w]
+	s.dead = s.dead[:w]
+	for r := range s.dead {
+		s.dead[r] = false
+	}
+	s.nDead = 0
+	return remap
+}
+
+// DimensionBytes models the storage of a dimension table: per value, its
+// name, one 4-byte surrogate key, 8 bytes of ordering/metadata, and a
+// 4-byte parent key per immediate ancestor category.
+func DimensionBytes(d *mdm.Dimension) int64 {
+	var total int64
+	for c := 0; c < d.NumCategories(); c++ {
+		cid := mdm.CategoryID(c)
+		parents := int64(len(d.Anc(cid)))
+		for _, v := range d.ValuesIn(cid) {
+			total += int64(len(d.ValueName(v))) + 4 + 8 + 4*parents
+		}
+	}
+	return total
+}
+
+// MOBytes models the storage of an MO's fact table under this package's
+// layout.
+func MOBytes(mo *mdm.MO) int64 {
+	l := Layout{DimCols: mo.Schema().NumDims(), MeasCols: len(mo.Schema().Measures)}
+	return int64(mo.Len()) * l.RowBytes()
+}

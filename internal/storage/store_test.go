@@ -1,0 +1,198 @@
+package storage
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dimred/internal/mdm"
+)
+
+func newTestStore() *Store {
+	return New(Layout{DimCols: 2, MeasCols: 3})
+}
+
+func TestAppendScan(t *testing.T) {
+	s := newTestStore()
+	r1, err := s.Append([]mdm.ValueID{1, 2}, []float64{1, 2, 3}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := s.Append([]mdm.ValueID{3, 4}, []float64{4, 5, 6}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Rows() != 2 || s.Live() != 2 {
+		t.Fatal("counts wrong")
+	}
+	if s.Ref(r2, 1) != 4 || s.Measure(r1, 2) != 3 || s.Base(r2) != 2 {
+		t.Error("reads wrong")
+	}
+	refs := s.Refs(r1, nil)
+	if refs[0] != 1 || refs[1] != 2 {
+		t.Error("Refs wrong")
+	}
+	var seen []RowID
+	s.Scan(func(r RowID) bool { seen = append(seen, r); return true })
+	if len(seen) != 2 {
+		t.Errorf("scan saw %v", seen)
+	}
+	// Early stop.
+	n := 0
+	s.Scan(func(r RowID) bool { n++; return false })
+	if n != 1 {
+		t.Error("scan did not stop")
+	}
+}
+
+func TestAppendShapeError(t *testing.T) {
+	s := newTestStore()
+	if _, err := s.Append([]mdm.ValueID{1}, []float64{1, 2, 3}, 1); err == nil {
+		t.Error("short refs accepted")
+	}
+	if _, err := s.Append([]mdm.ValueID{1, 2}, []float64{1}, 1); err == nil {
+		t.Error("short measures accepted")
+	}
+}
+
+func TestDeleteAndBytes(t *testing.T) {
+	s := newTestStore()
+	rb := s.Layout().RowBytes()
+	if rb != 4*2+8*3+8 {
+		t.Errorf("RowBytes = %d", rb)
+	}
+	var rows []RowID
+	for i := 0; i < 10; i++ {
+		r, _ := s.Append([]mdm.ValueID{mdm.ValueID(i), 0}, []float64{0, 0, 0}, 1)
+		rows = append(rows, r)
+	}
+	if s.Bytes() != 10*rb {
+		t.Errorf("Bytes = %d", s.Bytes())
+	}
+	s.Delete(rows[3])
+	s.Delete(rows[3]) // idempotent
+	s.Delete(RowID(99))
+	s.Delete(RowID(-1))
+	if s.Live() != 9 || s.Bytes() != 9*rb {
+		t.Errorf("after delete: live=%d bytes=%d", s.Live(), s.Bytes())
+	}
+	if s.Alive(rows[3]) || !s.Alive(rows[4]) {
+		t.Error("Alive wrong")
+	}
+	count := 0
+	s.Scan(func(r RowID) bool {
+		if r == rows[3] {
+			t.Error("scan visited dead row")
+		}
+		count++
+		return true
+	})
+	if count != 9 {
+		t.Errorf("scan count = %d", count)
+	}
+}
+
+func TestSetMeasureAndAddBase(t *testing.T) {
+	s := newTestStore()
+	r, _ := s.Append([]mdm.ValueID{0, 0}, []float64{1, 2, 3}, 1)
+	s.SetMeasure(r, 1, 42)
+	s.AddBase(r, 4)
+	if s.Measure(r, 1) != 42 || s.Base(r) != 5 {
+		t.Error("update wrong")
+	}
+}
+
+func TestCompact(t *testing.T) {
+	s := newTestStore()
+	var rows []RowID
+	for i := 0; i < 6; i++ {
+		r, _ := s.Append([]mdm.ValueID{mdm.ValueID(i), mdm.ValueID(i * 10)}, []float64{float64(i), 0, 0}, int64(i+1))
+		rows = append(rows, r)
+	}
+	s.Delete(rows[0])
+	s.Delete(rows[2])
+	s.Delete(rows[5])
+	remap := s.Compact()
+	if s.Rows() != 3 || s.Live() != 3 {
+		t.Fatalf("after compact rows=%d live=%d", s.Rows(), s.Live())
+	}
+	if remap[0] != -1 || remap[2] != -1 || remap[5] != -1 {
+		t.Error("dead rows should remap to -1")
+	}
+	// Surviving rows keep their data.
+	for old, newID := range remap {
+		if newID < 0 {
+			continue
+		}
+		if s.Ref(newID, 0) != mdm.ValueID(old) || s.Base(newID) != int64(old+1) {
+			t.Errorf("row %d remapped to %d with wrong data", old, newID)
+		}
+	}
+	// Compacting an already-compact store is the identity mapping.
+	remap2 := s.Compact()
+	for i, r := range remap2 {
+		if int(r) != i {
+			t.Error("second compact moved rows")
+		}
+	}
+}
+
+func TestCompactPropertyPreservesLiveRows(t *testing.T) {
+	f := func(kills []uint8) bool {
+		s := newTestStore()
+		const n = 40
+		for i := 0; i < n; i++ {
+			if _, err := s.Append([]mdm.ValueID{mdm.ValueID(i), 0}, []float64{float64(i), 0, 0}, 1); err != nil {
+				return false
+			}
+		}
+		for _, k := range kills {
+			s.Delete(RowID(int(k) % n))
+		}
+		live := s.Live()
+		var sum float64
+		s.Scan(func(r RowID) bool { sum += s.Measure(r, 0); return true })
+		s.Compact()
+		if s.Live() != live || s.Rows() != live {
+			return false
+		}
+		var sum2 float64
+		s.Scan(func(r RowID) bool { sum2 += s.Measure(r, 0); return true })
+		return sum == sum2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDimensionBytesGrowsWithValues(t *testing.T) {
+	d := mdm.NewDimension("X")
+	bot := d.MustAddCategory("leaf", false)
+	d.MustFinalize()
+	before := DimensionBytes(d)
+	d.MustAddValue(bot, "some-value", 0, nil)
+	after := DimensionBytes(d)
+	if after <= before {
+		t.Errorf("DimensionBytes did not grow: %d -> %d", before, after)
+	}
+}
+
+func TestMOBytes(t *testing.T) {
+	d := mdm.NewDimension("X")
+	bot := d.MustAddCategory("leaf", false)
+	d.MustFinalize()
+	v := d.MustAddValue(bot, "v", 0, nil)
+	schema, err := mdm.NewSchema("F", []*mdm.Dimension{d}, []mdm.Measure{{Name: "m", Agg: mdm.AggSum}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mo := mdm.NewMO(schema)
+	if MOBytes(mo) != 0 {
+		t.Error("empty MO has bytes")
+	}
+	if _, err := mo.AddFact([]mdm.ValueID{v}, []float64{1}); err != nil {
+		t.Fatal(err)
+	}
+	if MOBytes(mo) != 4+8+8 {
+		t.Errorf("MOBytes = %d", MOBytes(mo))
+	}
+}

@@ -1,0 +1,560 @@
+// Package subcube implements the paper's Section 7 strategy for
+// realizing data reduction on standard warehouse technology: the action
+// set is transformed into disjoint actions grouped by identical target
+// granularity, each group backed by one physical subcube (a fact table
+// at a fixed granularity), plus one subcube at the bottom granularity
+// that receives all new data. As NOW advances, synchronization migrates
+// rows along the parent→child DAG, aggregating them into coarser
+// subcubes; queries evaluate per subcube — in parallel — and combine the
+// disjoint subresults with one final distributive aggregation, in both
+// the synchronized and the un-synchronized state (Section 7.3).
+package subcube
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"dimred/internal/caltime"
+	"dimred/internal/mdm"
+	"dimred/internal/spec"
+	"dimred/internal/storage"
+)
+
+// Cube is one physical subcube: a fact table at a fixed granularity with
+// a cell index for in-place aggregation, plus a day-range zone map used
+// to skip the cube for time-selective queries. The zone map is
+// conservative: deletes and migrations never shrink it, so it can only
+// over-approximate the live range.
+type Cube struct {
+	id      int
+	gran    mdm.Granularity
+	actions []*spec.Action // actions targeting this granularity (empty for the bottom cube)
+	store   *storage.Store
+	index   map[string]storage.RowID
+	parents []*Cube
+
+	dayLo, dayHi caltime.Day
+	hasRange     bool
+	timeUnbound  bool // the cube's time category has no calendar unit (e.g. TOP)
+}
+
+// DayRange returns the zone map: the hull of the days covered by rows
+// ever merged into the cube. ok is false when the cube has no range
+// information (empty, no time dimension, or time aggregated to TOP).
+func (c *Cube) DayRange() (lo, hi caltime.Day, ok bool) {
+	if c.timeUnbound || !c.hasRange {
+		return 0, 0, false
+	}
+	return c.dayLo, c.dayHi, true
+}
+
+// ID returns the cube's index within its CubeSet (0 is the bottom cube).
+func (c *Cube) ID() int { return c.id }
+
+// Gran returns the cube's fixed granularity.
+func (c *Cube) Gran() mdm.Granularity { return c.gran }
+
+// Actions returns the actions whose target granularity this cube
+// realizes. The bottom cube has none.
+func (c *Cube) Actions() []*spec.Action { return c.actions }
+
+// Parents returns the cubes data migrates into this cube from.
+func (c *Cube) Parents() []*Cube { return c.parents }
+
+// Rows returns the number of live rows.
+func (c *Cube) Rows() int { return c.store.Live() }
+
+// Bytes returns the modeled storage size of the cube's live rows.
+func (c *Cube) Bytes() int64 { return c.store.Bytes() }
+
+// CubeSet is the collection of subcubes realizing one reduction
+// specification over one schema.
+type CubeSet struct {
+	sp       *spec.Spec
+	env      *spec.Env
+	cubes    []*Cube
+	byGran   map[string]*Cube
+	lastSync caltime.Day
+	synced   bool
+	// deletedBase counts user facts physically removed by deletion
+	// actions.
+	deletedBase int64
+}
+
+// New builds the subcube layout for a specification: one cube per
+// distinct action target granularity, plus the bottom cube (which
+// corresponds to the catch-all disjoint action a_bottom of the Section
+// 7.1 example).
+func New(sp *spec.Spec) (*CubeSet, error) {
+	env := sp.Env()
+	cs := &CubeSet{sp: sp, env: env, byGran: make(map[string]*Cube)}
+	layout := storage.Layout{DimCols: env.Schema.NumDims(), MeasCols: len(env.Schema.Measures)}
+
+	bottom := &Cube{id: 0, gran: env.Schema.BottomGranularity(), store: storage.New(layout), index: make(map[string]storage.RowID)}
+	cs.cubes = append(cs.cubes, bottom)
+	cs.byGran[granKey(bottom.gran)] = bottom
+
+	for _, a := range sp.Actions() {
+		if a.IsDelete() {
+			continue // deletion actions have no physical cube
+		}
+		key := granKey(a.Target())
+		c, ok := cs.byGran[key]
+		if !ok {
+			c = &Cube{id: len(cs.cubes), gran: a.Target(), store: storage.New(layout), index: make(map[string]storage.RowID)}
+			cs.cubes = append(cs.cubes, c)
+			cs.byGran[key] = c
+		}
+		c.actions = append(c.actions, a)
+	}
+	cs.computeDAG()
+	return cs, nil
+}
+
+func granKey(g mdm.Granularity) string {
+	var b []byte
+	for _, c := range g {
+		b = append(b, byte(c), byte(c>>8))
+	}
+	return string(b)
+}
+
+func cellKey(buf []byte, cell []mdm.ValueID) ([]byte, string) {
+	buf = buf[:0]
+	for _, v := range cell {
+		buf = append(buf, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+	}
+	return buf, string(buf)
+}
+
+// computeDAG derives the parent→child edges of Section 7.1: the bottom
+// cube is a parent of every other cube (new and late-arriving data can
+// migrate from it directly), and a non-bottom cube p is a parent of c
+// when an action of p is dominated by an action of c whose predicates
+// can select common cells at some time.
+func (cs *CubeSet) computeDAG() {
+	for _, c := range cs.cubes {
+		c.parents = nil
+	}
+	for _, c := range cs.cubes[1:] {
+		c.parents = append(c.parents, cs.cubes[0])
+		for _, p := range cs.cubes[1:] {
+			if p == c || !cs.env.Schema.GranLE(p.gran, c.gran) {
+				continue
+			}
+			if cs.cubesLinked(p, c) {
+				c.parents = append(c.parents, p)
+			}
+		}
+	}
+}
+
+// cubesLinked reports whether rows can migrate directly from p to c: an
+// action of p is dominated by an action of c that can select, one day
+// later, a cell p's action selects — either because the predicates
+// overlap outright or because c's region catches cells released by p's
+// shrinking bound.
+func (cs *CubeSet) cubesLinked(p, c *Cube) bool {
+	for _, pa := range p.actions {
+		for _, ca := range c.actions {
+			if spec.LessEq(pa, ca) && spec.ActionFeeds(cs.env, pa, ca) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Cubes returns the subcubes (index 0 is the bottom cube).
+func (cs *CubeSet) Cubes() []*Cube { return cs.cubes }
+
+// Spec returns the specification this cube set realizes.
+func (cs *CubeSet) Spec() *spec.Spec { return cs.sp }
+
+// LastSync returns the time of the last synchronization; ok is false if
+// the set was never synchronized.
+func (cs *CubeSet) LastSync() (caltime.Day, bool) { return cs.lastSync, cs.synced }
+
+// Insert adds one user fact at the bottom granularity. Measures of
+// COUNT kind are initialized to 1 regardless of the supplied value.
+func (cs *CubeSet) Insert(refs []mdm.ValueID, meas []float64) error {
+	schema := cs.env.Schema
+	if len(refs) != schema.NumDims() || len(meas) != len(schema.Measures) {
+		return fmt.Errorf("subcube: Insert: row shape mismatch")
+	}
+	bottom := cs.cubes[0]
+	for i, d := range schema.Dims {
+		if got := d.CategoryOf(refs[i]); got != bottom.gran[i] {
+			return fmt.Errorf("subcube: Insert: dimension %s value at category %s, want bottom category %s",
+				d.Name(), d.Category(got).Name, d.Category(bottom.gran[i]).Name)
+		}
+	}
+	init := make([]float64, len(meas))
+	for j, m := range schema.Measures {
+		init[j] = m.Agg.Init(meas[j])
+		if m.Agg == mdm.AggCount {
+			init[j] = 1
+		}
+	}
+	return cs.mergeInto(bottom, refs, init, 1)
+}
+
+// InsertMO bulk-loads every fact of a bottom-granularity MO.
+func (cs *CubeSet) InsertMO(mo *mdm.MO) error {
+	for f := 0; f < mo.Len(); f++ {
+		fid := mdm.FactID(f)
+		if err := cs.Insert(mo.Refs(fid), mo.Measures(fid)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// mergeInto adds (or merges) a row at the cube's granularity.
+func (cs *CubeSet) mergeInto(c *Cube, refs []mdm.ValueID, meas []float64, base int64) error {
+	cs.extendZoneMap(c, refs)
+	_, key := cellKey(nil, refs)
+	if r, ok := c.index[key]; ok && c.store.Alive(r) {
+		for j, m := range cs.env.Schema.Measures {
+			c.store.SetMeasure(r, j, m.Agg.Merge(c.store.Measure(r, j), meas[j]))
+		}
+		c.store.AddBase(r, base)
+		return nil
+	}
+	r, err := c.store.Append(refs, meas, base)
+	if err != nil {
+		return fmt.Errorf("subcube: %w", err)
+	}
+	c.index[key] = r
+	return nil
+}
+
+// cubeUntouchedAt reports whether synchronization can skip cube c at
+// time t: every action that could raise (or delete) the cube's rows has
+// a time hull disjoint from the cube's day-range zone map. Rows whose
+// level could change must satisfy some action's predicate, so disjoint
+// hulls mean no row moves.
+func (cs *CubeSet) cubeUntouchedAt(c *Cube, t caltime.Day) bool {
+	lo, hi, ok := c.DayRange()
+	if !ok {
+		return c.store.Live() == 0
+	}
+	for _, a := range cs.sp.Actions() {
+		if !a.IsDelete() && cs.env.Schema.GranLE(a.Target(), c.gran) && !cs.env.Schema.GranEq(a.Target(), c.gran) {
+			continue // cannot raise the cube's level
+		}
+		if a.IsDelete() || !cs.env.Schema.GranEq(a.Target(), c.gran) {
+			aLo, aHi, bounded := a.TimeHullAt(t)
+			if !bounded || (aHi >= lo && aLo <= hi) {
+				return false // the action may select rows of this cube
+			}
+		}
+	}
+	return true
+}
+
+// extendZoneMap widens the cube's day-range hull by the row's time
+// value.
+func (cs *CubeSet) extendZoneMap(c *Cube, refs []mdm.ValueID) {
+	if cs.env.TimeDim < 0 || c.timeUnbound {
+		return
+	}
+	td := cs.env.Schema.Dims[cs.env.TimeDim]
+	v := refs[cs.env.TimeDim]
+	u, ok := cs.env.Time.UnitForCategory(td.CategoryOf(v))
+	if !ok {
+		c.timeUnbound = true
+		return
+	}
+	p := caltime.Period{Unit: u, Index: td.ValueOrd(v)}
+	lo, hi := p.First(), p.Last()
+	if !c.hasRange {
+		c.dayLo, c.dayHi, c.hasRange = lo, hi, true
+		return
+	}
+	if lo < c.dayLo {
+		c.dayLo = lo
+	}
+	if hi > c.dayHi {
+		c.dayHi = hi
+	}
+}
+
+// Sync migrates every row to the subcube of its current aggregation
+// level at time t (Section 7.2): for each cube, rows whose AggLevel has
+// risen are rolled up and merged into the destination cube. The
+// read-only scan that finds movers runs over the cubes in parallel; the
+// migrations then apply serially. It returns the number of migrated
+// rows.
+func (cs *CubeSet) Sync(t caltime.Day) (int, error) {
+	schema := cs.env.Schema
+	moved := 0
+
+	// Phase 1 (parallel): collect the movers per cube.
+	movers := make([][]storage.RowID, len(cs.cubes))
+	var wg sync.WaitGroup
+	for ci, c := range cs.cubes {
+		if cs.cubeUntouchedAt(c, t) {
+			continue // no action can select any of the cube's rows at t
+		}
+		wg.Add(1)
+		go func(ci int, c *Cube) {
+			defer wg.Done()
+			cell := make([]mdm.ValueID, schema.NumDims())
+			var migrate []storage.RowID
+			c.store.Scan(func(r storage.RowID) bool {
+				c.store.Refs(r, cell)
+				if cs.sp.DeletedBy(cell, t) != nil {
+					migrate = append(migrate, r)
+					return true
+				}
+				level, _ := cs.sp.AggLevel(cell, t)
+				if !schema.GranEq(level, c.gran) {
+					migrate = append(migrate, r)
+				}
+				return true
+			})
+			movers[ci] = migrate
+		}(ci, c)
+	}
+	wg.Wait()
+
+	// Phase 2 (serial): roll movers up and merge into their targets.
+	cell := make([]mdm.ValueID, schema.NumDims())
+	for ci, c := range cs.cubes {
+		for _, r := range movers[ci] {
+			c.store.Refs(r, cell)
+			if cs.sp.DeletedBy(cell, t) != nil {
+				cs.deletedBase += c.store.Base(r)
+				_, key := cellKey(nil, cell)
+				delete(c.index, key)
+				c.store.Delete(r)
+				moved++
+				continue
+			}
+			level, _ := cs.sp.AggLevel(cell, t)
+			dst, ok := cs.byGran[granKey(level)]
+			if !ok {
+				return moved, fmt.Errorf("subcube: Sync: no cube at granularity %s", schema.GranString(level))
+			}
+			up := make([]mdm.ValueID, len(cell))
+			for i, d := range schema.Dims {
+				up[i] = d.AncestorAt(cell[i], level[i])
+				if up[i] == mdm.NoValue {
+					return moved, fmt.Errorf("subcube: Sync: value %s has no ancestor at %s",
+						d.ValueName(cell[i]), d.Category(level[i]).Name)
+				}
+			}
+			meas := make([]float64, len(schema.Measures))
+			for j := range meas {
+				meas[j] = c.store.Measure(r, j)
+			}
+			if err := cs.mergeInto(dst, up, meas, c.store.Base(r)); err != nil {
+				return moved, err
+			}
+			_, key := cellKey(nil, cell)
+			delete(c.index, key)
+			c.store.Delete(r)
+			moved++
+		}
+		// Reclaim space once tombstones dominate.
+		if c.store.Rows() > 64 && c.store.Live()*2 < c.store.Rows() {
+			cs.compact(c)
+		}
+	}
+	cs.lastSync, cs.synced = t, true
+	return moved, nil
+}
+
+func (cs *CubeSet) compact(c *Cube) {
+	remap := c.store.Compact()
+	for key, r := range c.index {
+		nr := remap[r]
+		if nr < 0 {
+			delete(c.index, key)
+		} else {
+			c.index[key] = nr
+		}
+	}
+}
+
+// ApplySpec rebuilds the cube layout for an updated specification (the
+// infrequent synchronization of Section 7.2): new subcubes are created,
+// every row is re-routed by its aggregation level at time t, and cubes
+// whose granularity no longer appears are dropped.
+func (cs *CubeSet) ApplySpec(sp *spec.Spec, t caltime.Day) error {
+	if sp.Env() != cs.env {
+		return fmt.Errorf("subcube: ApplySpec: specification bound to a different environment")
+	}
+	old := cs.cubes
+	next, err := New(sp)
+	if err != nil {
+		return err
+	}
+	schema := cs.env.Schema
+	cell := make([]mdm.ValueID, schema.NumDims())
+	for _, c := range old {
+		var failed error
+		c.store.Scan(func(r storage.RowID) bool {
+			c.store.Refs(r, cell)
+			if sp.DeletedBy(cell, t) != nil {
+				next.deletedBase += c.store.Base(r)
+				return true
+			}
+			level, _ := sp.AggLevel(cell, t)
+			dst, ok := next.byGran[granKey(level)]
+			if !ok {
+				failed = fmt.Errorf("subcube: ApplySpec: no cube at granularity %s", schema.GranString(level))
+				return false
+			}
+			up := make([]mdm.ValueID, len(cell))
+			for i, d := range schema.Dims {
+				up[i] = d.AncestorAt(cell[i], level[i])
+			}
+			meas := make([]float64, len(schema.Measures))
+			for j := range meas {
+				meas[j] = c.store.Measure(r, j)
+			}
+			if err := next.mergeInto(dst, up, meas, c.store.Base(r)); err != nil {
+				failed = err
+				return false
+			}
+			return true
+		})
+		if failed != nil {
+			return failed
+		}
+	}
+	cs.sp = sp
+	cs.cubes = next.cubes
+	cs.byGran = next.byGran
+	cs.deletedBase += next.deletedBase
+	cs.lastSync, cs.synced = t, true
+	return nil
+}
+
+// DeletedFacts returns the number of user facts physically removed by
+// deletion actions so far.
+func (cs *CubeSet) DeletedFacts() int64 { return cs.deletedBase }
+
+// RestoreRow re-injects a row saved from a snapshot: it is merged into
+// the cube whose granularity matches the row's own. The measures are
+// taken as already-aggregated partials.
+func (cs *CubeSet) RestoreRow(refs []mdm.ValueID, meas []float64, base int64) error {
+	schema := cs.env.Schema
+	if len(refs) != schema.NumDims() || len(meas) != len(schema.Measures) {
+		return fmt.Errorf("subcube: RestoreRow: row shape mismatch")
+	}
+	gran := make(mdm.Granularity, len(refs))
+	for i, d := range schema.Dims {
+		gran[i] = d.CategoryOf(refs[i])
+	}
+	c, ok := cs.byGran[granKey(gran)]
+	if !ok {
+		return fmt.Errorf("subcube: RestoreRow: no cube at granularity %s", schema.GranString(gran))
+	}
+	return cs.mergeInto(c, refs, meas, base)
+}
+
+// RestoreSyncState re-applies snapshot bookkeeping: the last
+// synchronization time and the deleted-fact count.
+func (cs *CubeSet) RestoreSyncState(lastSync caltime.Day, synced bool, deleted int64) {
+	cs.lastSync, cs.synced = lastSync, synced
+	cs.deletedBase = deleted
+}
+
+// TotalRows returns the number of live rows across all cubes.
+func (cs *CubeSet) TotalRows() int {
+	n := 0
+	for _, c := range cs.cubes {
+		n += c.Rows()
+	}
+	return n
+}
+
+// TotalBytes returns the modeled storage across all cubes.
+func (cs *CubeSet) TotalBytes() int64 {
+	var n int64
+	for _, c := range cs.cubes {
+		n += c.Bytes()
+	}
+	return n
+}
+
+// MO materializes one cube as a multidimensional object (used by the
+// query evaluator and the experiments).
+func (c *Cube) MO(schema *mdm.Schema) (*mdm.MO, error) {
+	mo := mdm.NewMO(schema)
+	mo.SetFloors(c.gran)
+	var err error
+	refs := make([]mdm.ValueID, schema.NumDims())
+	meas := make([]float64, len(schema.Measures))
+	c.store.Scan(func(r storage.RowID) bool {
+		c.store.Refs(r, refs)
+		for j := range meas {
+			meas[j] = c.store.Measure(r, j)
+		}
+		if _, e := mo.AddFactAt(refs, meas, c.store.Base(r), ""); e != nil {
+			err = e
+			return false
+		}
+		return true
+	})
+	return mo, err
+}
+
+// Describe renders the cube layout with the disjoint-action view of
+// Section 7.1: each cube's granularity, its actions, and the
+// higher-target actions its predicate excludes (the negated conjuncts of
+// Eq. 41-44); the bottom cube excludes every action.
+func (cs *CubeSet) Describe() string {
+	var b strings.Builder
+	for _, c := range cs.cubes {
+		fmt.Fprintf(&b, "K%d %s", c.id, cs.env.Schema.GranString(c.gran))
+		if len(c.actions) == 0 {
+			b.WriteString(" [bottom]")
+		}
+		var parents []string
+		for _, p := range c.parents {
+			parents = append(parents, fmt.Sprintf("K%d", p.id))
+		}
+		sort.Strings(parents)
+		if len(parents) > 0 {
+			fmt.Fprintf(&b, " parents={%s}", strings.Join(parents, ","))
+		}
+		b.WriteByte('\n')
+		for _, a := range c.actions {
+			fmt.Fprintf(&b, "  include %s\n", a.String())
+		}
+		for _, excl := range cs.excludedBy(c) {
+			fmt.Fprintf(&b, "  exclude %s\n", excl)
+		}
+	}
+	return b.String()
+}
+
+// excludedBy lists the actions whose (strictly higher) targets carve
+// cells out of cube c's disjoint predicate.
+func (cs *CubeSet) excludedBy(c *Cube) []string {
+	var out []string
+	for _, a := range cs.sp.Actions() {
+		if granKey(a.Target()) == granKey(c.gran) {
+			continue
+		}
+		if len(c.actions) == 0 {
+			// Bottom cube: everything aggregated elsewhere is excluded.
+			out = append(out, a.Name())
+			continue
+		}
+		for _, own := range c.actions {
+			if spec.LessEq(own, a) && spec.ActionsOverlap(cs.env, own, a) {
+				out = append(out, a.Name())
+				break
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,241 @@
+package subcube
+
+import (
+	"fmt"
+	"sync"
+
+	"dimred/internal/caltime"
+	"dimred/internal/expr"
+	"dimred/internal/mdm"
+	"dimred/internal/query"
+	"dimred/internal/spec"
+	"dimred/internal/storage"
+)
+
+// Query is an OLAP query against a cube set: an optional selection
+// predicate followed by aggregate formation to the target granularity,
+// i.e. α[Target](σ[Pred](O)).
+type Query struct {
+	Pred   *query.Predicate // nil selects everything
+	Target mdm.Granularity
+	Sel    query.Approach
+	Agg    query.AggApproach
+}
+
+// ParseQuery builds a Query from the action-specification syntax, e.g.
+// "aggregate [Time.month, URL.domain_grp] where 1999/6 < Time.month and
+// Time.month <= 2000/5", with the paper's default approaches
+// (conservative selection, availability aggregation).
+func ParseQuery(src string, env *spec.Env) (Query, error) {
+	parsed, err := expr.ParseAction(src)
+	if err != nil {
+		return Query{}, fmt.Errorf("subcube: ParseQuery: %w", err)
+	}
+	refs := make([]string, len(parsed.Targets))
+	for i, r := range parsed.Targets {
+		refs[i] = r.String()
+	}
+	target, err := env.Schema.ParseGranularity(refs)
+	if err != nil {
+		return Query{}, fmt.Errorf("subcube: ParseQuery: %w", err)
+	}
+	var pred *query.Predicate
+	if parsed.Pred != nil {
+		if b, ok := parsed.Pred.(expr.Bool); !ok || !b.Value {
+			pred, err = query.CompilePred(parsed.Pred, env)
+			if err != nil {
+				return Query{}, fmt.Errorf("subcube: ParseQuery: %w", err)
+			}
+		}
+	}
+	return Query{Pred: pred, Target: target, Sel: query.Conservative, Agg: query.Availability}, nil
+}
+
+// MustParseQuery panics on error; for constant query strings.
+func MustParseQuery(src string, env *spec.Env) Query {
+	q, err := ParseQuery(src, env)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// Evaluate runs the query at time t following Section 7.3: each subcube
+// is evaluated independently and in parallel; when the cube set is not
+// synchronized at t, each subcube's input is first replaced by its
+// synchronized view α[G_i]σ[P_i](K_i ∪ parents(K_i)) — the rows, from
+// the cube and its parent cubes, whose current aggregation level is G_i,
+// rolled up to G_i. The disjoint subresults are then combined by one
+// final distributive aggregation to the query's target granularity.
+func (cs *CubeSet) Evaluate(q Query, t caltime.Day) (*mdm.MO, error) {
+	if len(q.Target) != cs.env.Schema.NumDims() {
+		return nil, fmt.Errorf("subcube: Evaluate: target granularity needs %d categories", cs.env.Schema.NumDims())
+	}
+	synced := cs.synced && cs.lastSync == t
+
+	// Zone-map pruning: a cube whose day-range hull cannot intersect the
+	// predicate's time bounds contributes nothing (sound for every
+	// approach — the hull covers all drill-down days of every row).
+	// Pruning applies only in the synchronized state; a stale cube may
+	// still feed rows into other cubes' views.
+	var predLo, predHi caltime.Day
+	pruneByTime := false
+	if synced && q.Pred != nil {
+		predLo, predHi, pruneByTime = q.Pred.TimeBounds(t)
+	}
+
+	subresults := make([]*mdm.MO, len(cs.cubes))
+	errs := make([]error, len(cs.cubes))
+	var wg sync.WaitGroup
+	for i, c := range cs.cubes {
+		if pruneByTime {
+			if lo, hi, ok := c.DayRange(); ok && (hi < predLo || lo > predHi) {
+				continue // the cube cannot contribute
+			}
+		}
+		wg.Add(1)
+		go func(i int, c *Cube) {
+			defer wg.Done()
+			var mo *mdm.MO
+			var err error
+			if synced {
+				// Fast path: evaluate the predicate during the cube scan
+				// and materialize only the selected rows.
+				mo, err = cs.selectedMO(c, q, t)
+			} else {
+				mo, err = cs.viewOf(c, t)
+				if err == nil && q.Pred != nil {
+					mo, err = query.Select(mo, q.Pred, t, q.Sel)
+				}
+			}
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			subresults[i], errs[i] = query.Aggregate(mo, q.Target, q.Agg)
+		}(i, c)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Union the disjoint subresults, then a final aggregation merges
+	// cells that were split across subcubes (fact_45 + fact_9 →
+	// fact_459 in Figure 8) — sound because the default aggregate
+	// functions are distributive.
+	union := mdm.NewMO(cs.env.Schema)
+	for _, sub := range subresults {
+		if sub == nil {
+			continue // cube pruned by the zone map
+		}
+		for f := 0; f < sub.Len(); f++ {
+			fid := mdm.FactID(f)
+			if _, err := union.AddFactAt(sub.Refs(fid), sub.Measures(fid), sub.BaseCount(fid), ""); err != nil {
+				return nil, fmt.Errorf("subcube: Evaluate: %w", err)
+			}
+		}
+	}
+	return query.Aggregate(union, q.Target, q.Agg)
+}
+
+// selectedMO materializes the rows of cube c that satisfy the query's
+// predicate (under its selection approach) as an MO, evaluating the
+// predicate against storage rows directly.
+func (cs *CubeSet) selectedMO(c *Cube, q Query, t caltime.Day) (*mdm.MO, error) {
+	schema := cs.env.Schema
+	mo := mdm.NewMO(schema)
+	mo.SetFloors(c.gran)
+	refs := make([]mdm.ValueID, schema.NumDims())
+	meas := make([]float64, len(schema.Measures))
+	var prep *query.Prepared
+	if q.Pred != nil {
+		prep = q.Pred.Prepare(t)
+	}
+	var failed error
+	c.store.Scan(func(r storage.RowID) bool {
+		c.store.Refs(r, refs)
+		if prep != nil {
+			cons, lib, _ := prep.EvaluateCell(query.Cell(refs))
+			keep := cons
+			if q.Sel != query.Conservative {
+				keep = lib
+			}
+			if !keep {
+				return true
+			}
+		}
+		for j := range meas {
+			meas[j] = c.store.Measure(r, j)
+		}
+		if _, err := mo.AddFactAt(refs, meas, c.store.Base(r), ""); err != nil {
+			failed = err
+			return false
+		}
+		return true
+	})
+	return mo, failed
+}
+
+// viewOf builds the synchronized view of cube c at time t from c and its
+// parent cubes: the rows whose current aggregation level equals c's
+// granularity, rolled up to it and merged by cell.
+func (cs *CubeSet) viewOf(c *Cube, t caltime.Day) (*mdm.MO, error) {
+	schema := cs.env.Schema
+	mo := mdm.NewMO(schema)
+	mo.SetFloors(c.gran)
+	index := make(map[string]mdm.FactID)
+
+	sources := append([]*Cube{c}, c.parents...)
+	cell := make([]mdm.ValueID, schema.NumDims())
+	var keyBuf []byte
+	for _, src := range sources {
+		var failed error
+		src.store.Scan(func(r storage.RowID) bool {
+			src.store.Refs(r, cell)
+			if cs.sp.DeletedBy(cell, t) != nil {
+				return true // already past its deletion time
+			}
+			level, _ := cs.sp.AggLevel(cell, t)
+			if !schema.GranEq(level, c.gran) {
+				return true
+			}
+			up := make([]mdm.ValueID, len(cell))
+			for i, d := range schema.Dims {
+				up[i] = d.AncestorAt(cell[i], level[i])
+				if up[i] == mdm.NoValue {
+					failed = fmt.Errorf("subcube: view: value %s has no ancestor at %s",
+						d.ValueName(cell[i]), d.Category(level[i]).Name)
+					return false
+				}
+			}
+			var key string
+			keyBuf, key = cellKey(keyBuf, up)
+			if fid, ok := index[key]; ok {
+				for j, m := range schema.Measures {
+					merged := m.Agg.Merge(mo.Measure(fid, j), src.store.Measure(r, j))
+					mo.SetMeasure(fid, j, merged)
+				}
+				mo.AddBaseCount(fid, src.store.Base(r))
+				return true
+			}
+			meas := make([]float64, len(schema.Measures))
+			for j := range meas {
+				meas[j] = src.store.Measure(r, j)
+			}
+			fid, err := mo.AddFactAt(up, meas, src.store.Base(r), "")
+			if err != nil {
+				failed = err
+				return false
+			}
+			index[key] = fid
+			return true
+		})
+		if failed != nil {
+			return nil, failed
+		}
+	}
+	return mo, nil
+}

@@ -1,0 +1,169 @@
+package subcube
+
+import (
+	"fmt"
+	"testing"
+
+	"dimred/internal/caltime"
+	"dimred/internal/core"
+	"dimred/internal/query"
+	"dimred/internal/spec"
+	"dimred/internal/workload"
+)
+
+// TestRandomizedEquivalence drives the subcube engine and the
+// Definition 2 semantics with generated click-streams under several
+// specifications and checks that query answers agree at every time
+// point. This is the strong form of the S5 experiment.
+func TestRandomizedEquivalence(t *testing.T) {
+	specs := [][]string{
+		{
+			`aggregate [Time.month, URL.domain] where Time.month <= NOW - 2 months`,
+		},
+		{
+			`aggregate [Time.month, URL.domain] where Time.month <= NOW - 2 months`,
+			`aggregate [Time.quarter, URL.domain_grp] where Time.quarter <= NOW - 3 quarters`,
+		},
+		{
+			// Shrinking window covered by a coarser action.
+			`aggregate [Time.month, URL.domain] where NOW - 9 months < Time.month and Time.month <= NOW - 2 months`,
+			`aggregate [Time.quarter, URL.domain] where Time.quarter <= NOW - 3 quarters`,
+		},
+		{
+			// Group-restricted actions plus a catch-all deletion.
+			`aggregate [Time.month, URL.domain] where URL.domain_grp = ".com" and Time.month <= NOW - 2 months`,
+			`aggregate [Time.month, URL.domain_grp] where URL.domain_grp = ".edu" and Time.month <= NOW - 2 months`,
+			`delete where Time.year <= NOW - 3 years`,
+		},
+	}
+	queries := []string{
+		`aggregate [Time.quarter, URL.domain_grp]`,
+		`aggregate [Time.month, URL.domain] where URL.domain_grp = ".com"`,
+		`aggregate [Time.year, URL.TOP]`,
+	}
+	times := []caltime.Day{
+		caltime.Date(2000, 4, 1), caltime.Date(2000, 9, 13),
+		caltime.Date(2001, 2, 1), caltime.Date(2002, 7, 4),
+		caltime.Date(2004, 1, 2),
+	}
+	for si, srcs := range specs {
+		si, srcs := si, srcs
+		t.Run(fmt.Sprintf("spec%d", si), func(t *testing.T) {
+			obj, err := workload.BuildClickMO(workload.ClickConfig{
+				Seed: int64(100 + si), Start: caltime.Date(2000, 1, 1),
+				Days: 180, ClicksPerDay: 25, Domains: 8, URLsPerDomain: 3,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			env, err := spec.NewEnv(obj.Schema, "Time", obj.Time)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var actions []*spec.Action
+			for i, src := range srcs {
+				actions = append(actions, spec.MustCompileString(fmt.Sprintf("a%d", i), src, env))
+			}
+			s, err := spec.New(env, actions...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cs, err := New(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := cs.InsertMO(obj.MO); err != nil {
+				t.Fatal(err)
+			}
+			for _, at := range times {
+				if _, err := cs.Sync(at); err != nil {
+					t.Fatal(err)
+				}
+				red, err := core.Reduce(s, obj.MO, at)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, qsrc := range queries {
+					q := MustParseQuery(qsrc, env)
+					engine, err := cs.Evaluate(q, at)
+					if err != nil {
+						t.Fatal(err)
+					}
+					sel := red.MO
+					if q.Pred != nil {
+						sel, err = query.Select(red.MO, q.Pred, at, query.Conservative)
+						if err != nil {
+							t.Fatal(err)
+						}
+					}
+					direct, err := query.Aggregate(sel, q.Target, query.Availability)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if canon(engine) != canon(direct) {
+						t.Fatalf("divergence at %v, query %q:\nengine:\n%s\ndirect:\n%s",
+							at, qsrc, canon(engine), canon(direct))
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestRandomizedStaleQueryEquivalence checks that un-synchronized
+// evaluation matches synchronized evaluation under a generated stream,
+// when the staleness is within one significant period (the paper's
+// one-generation assumption).
+func TestRandomizedStaleQueryEquivalence(t *testing.T) {
+	obj, err := workload.BuildClickMO(workload.ClickConfig{
+		Seed: 77, Start: caltime.Date(2000, 1, 1),
+		Days: 240, ClicksPerDay: 20, Domains: 6, URLsPerDomain: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := spec.NewEnv(obj.Schema, "Time", obj.Time)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := spec.New(env,
+		spec.MustCompileString("m", `aggregate [Time.month, URL.domain] where Time.month <= NOW - 2 months`, env),
+		spec.MustCompileString("q", `aggregate [Time.quarter, URL.domain_grp] where Time.quarter <= NOW - 2 quarters`, env))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := MustParseQuery(`aggregate [Time.month, URL.domain_grp]`, env)
+	for _, step := range []struct {
+		syncAt, queryAt caltime.Day
+	}{
+		{caltime.Date(2000, 6, 15), caltime.Date(2000, 7, 10)},
+		{caltime.Date(2000, 9, 1), caltime.Date(2000, 9, 25)},
+		{caltime.Date(2001, 1, 5), caltime.Date(2001, 2, 2)},
+	} {
+		cs, err := New(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := cs.InsertMO(obj.MO); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := cs.Sync(step.syncAt); err != nil {
+			t.Fatal(err)
+		}
+		stale, err := cs.Evaluate(q, step.queryAt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := cs.Sync(step.queryAt); err != nil {
+			t.Fatal(err)
+		}
+		fresh, err := cs.Evaluate(q, step.queryAt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if canon(stale) != canon(fresh) {
+			t.Errorf("stale/fresh divergence for sync=%v query=%v:\nstale:\n%s\nfresh:\n%s",
+				step.syncAt, step.queryAt, canon(stale), canon(fresh))
+		}
+	}
+}

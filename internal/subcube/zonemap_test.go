@@ -1,0 +1,183 @@
+package subcube
+
+import (
+	"testing"
+
+	"dimred/internal/caltime"
+	"dimred/internal/core"
+	"dimred/internal/query"
+	"dimred/internal/spec"
+	"dimred/internal/workload"
+)
+
+func zoneMapSetup(t *testing.T) (*workload.ClickObject, *spec.Spec, *CubeSet, caltime.Day) {
+	t.Helper()
+	obj, err := workload.BuildClickMO(workload.ClickConfig{
+		Seed: 61, Start: caltime.Date(2000, 1, 1), Days: 365,
+		ClicksPerDay: 20, Domains: 6, URLsPerDomain: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := spec.NewEnv(obj.Schema, "Time", obj.Time)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := spec.New(env,
+		spec.MustCompileString("m", `aggregate [Time.month, URL.domain] where Time.month <= NOW - 2 months`, env),
+		spec.MustCompileString("q", `aggregate [Time.quarter, URL.domain_grp] where Time.quarter <= NOW - 2 quarters`, env))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, err := New(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cs.InsertMO(obj.MO); err != nil {
+		t.Fatal(err)
+	}
+	at := caltime.Date(2001, 1, 10)
+	if _, err := cs.Sync(at); err != nil {
+		t.Fatal(err)
+	}
+	return obj, s, cs, at
+}
+
+func TestZoneMapRanges(t *testing.T) {
+	_, _, cs, _ := zoneMapSetup(t)
+	for _, c := range cs.Cubes() {
+		lo, hi, ok := c.DayRange()
+		if c.Rows() == 0 {
+			continue
+		}
+		if !ok {
+			t.Errorf("cube %d has rows but no range", c.ID())
+			continue
+		}
+		if lo > hi {
+			t.Errorf("cube %d inverted range %v..%v", c.ID(), lo, hi)
+		}
+		// The range must cover the stream (conservatively).
+		if hi < caltime.Date(2000, 1, 1) || lo > caltime.Date(2001, 1, 1) {
+			t.Errorf("cube %d range %v..%v misses the data", c.ID(), lo, hi)
+		}
+	}
+}
+
+func TestZoneMapPruningPreservesAnswers(t *testing.T) {
+	obj, s, cs, at := zoneMapSetup(t)
+	// Narrow time queries that prune at least one cube, compared against
+	// the Definition 2 pipeline.
+	queries := []string{
+		`aggregate [Time.month, URL.domain_grp] where Time.month = 2000/2`,
+		`aggregate [Time.day, URL.domain] where 2000/12/20 <= Time.day and Time.day <= 2000/12/31`,
+		`aggregate [Time.quarter, URL.domain_grp] where Time.quarter in {2000Q1}`,
+		`aggregate [Time.month, URL.domain] where Time.month >= 2002/1`, // beyond the data: everything pruned
+	}
+	red, err := core.Reduce(s, obj.MO, at)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, qsrc := range queries {
+		q := MustParseQuery(qsrc, s.Env())
+		engine, err := cs.Evaluate(q, at)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sel, err := query.Select(red.MO, q.Pred, at, query.Conservative)
+		if err != nil {
+			t.Fatal(err)
+		}
+		direct, err := query.Aggregate(sel, q.Target, query.Availability)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if canon(engine) != canon(direct) {
+			t.Errorf("pruned query %q diverges:\nengine:\n%s\ndirect:\n%s", qsrc, canon(engine), canon(direct))
+		}
+	}
+}
+
+func TestPredicateTimeBounds(t *testing.T) {
+	_, s, _, at := zoneMapSetup(t)
+	env := s.Env()
+	cases := []struct {
+		src     string
+		bounded bool
+	}{
+		{`Time.month = 2000/2`, true},
+		{`Time.month <= NOW - 2 months`, true},
+		{`Time.quarter in {2000Q1, 2000Q3}`, true},
+		{`URL.domain_grp = ".com"`, false},
+		{`Time.month != 2000/2`, false},
+		{`Time.month <= 2000/6 or URL.domain = "x"`, false}, // second disjunct is time-free
+	}
+	for _, c := range cases {
+		p, err := query.ParsePred(c.src, env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lo, hi, bounded := p.TimeBounds(at)
+		if bounded != c.bounded {
+			t.Errorf("%s: bounded = %v, want %v", c.src, bounded, c.bounded)
+			continue
+		}
+		if bounded && lo > hi {
+			t.Errorf("%s: inverted bounds %v..%v", c.src, lo, hi)
+		}
+	}
+	// Concrete hull: month = 2000/2 spans exactly February 2000.
+	p, _ := query.ParsePred(`Time.month = 2000/2`, env)
+	lo, hi, _ := p.TimeBounds(at)
+	if lo != caltime.Date(2000, 2, 1) || hi != caltime.Date(2000, 2, 29) {
+		t.Errorf("hull = %v..%v", lo, hi)
+	}
+}
+
+func BenchmarkZoneMapPruning(b *testing.B) {
+	obj, err := workload.BuildClickMO(workload.ClickConfig{
+		Seed: 62, Start: caltime.Date(2000, 1, 1), Days: 365,
+		ClicksPerDay: 100, Domains: 10, URLsPerDomain: 4,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	env, err := spec.NewEnv(obj.Schema, "Time", obj.Time)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := spec.New(env,
+		spec.MustCompileString("m", `aggregate [Time.month, URL.domain] where Time.month <= NOW - 2 months`, env))
+	if err != nil {
+		b.Fatal(err)
+	}
+	cs, err := New(s)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := cs.InsertMO(obj.MO); err != nil {
+		b.Fatal(err)
+	}
+	at := caltime.Date(2001, 1, 10)
+	if _, err := cs.Sync(at); err != nil {
+		b.Fatal(err)
+	}
+	// The month cube holds ~11 months of data; the bottom cube the rest.
+	// A query over old months prunes the (large) bottom cube.
+	pruned := MustParseQuery(`aggregate [Time.month, URL.domain_grp] where Time.month <= 2000/6`, s.Env())
+	unpruned := MustParseQuery(`aggregate [Time.month, URL.domain_grp]`, s.Env())
+	b.Run("time-selective", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := cs.Evaluate(pruned, at); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("full-scan", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := cs.Evaluate(unpruned, at); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

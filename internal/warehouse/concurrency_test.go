@@ -1,0 +1,112 @@
+package warehouse
+
+import (
+	"sync"
+	"testing"
+
+	"dimred/internal/caltime"
+	"dimred/internal/mdm"
+	"dimred/internal/spec"
+	"dimred/internal/workload"
+)
+
+// TestConcurrentQueriesAndLoads hammers a warehouse with parallel
+// queries while a writer interleaves loads and clock advances; run with
+// -race this validates the locking discipline.
+//
+// Note: dimension builders are not concurrent-safe, so the writer
+// resolves dimension values before handing rows to the warehouse.
+func TestConcurrentQueriesAndLoads(t *testing.T) {
+	obj, err := workload.NewClickSchema()
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := spec.NewEnv(obj.Schema, "Time", obj.Time)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := Open(env,
+		spec.MustCompileString("m", `aggregate [Time.month, URL.domain] where Time.month <= NOW - 1 month`, env))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AdvanceTo(caltime.Date(2000, 1, 1)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Pre-resolve all rows (dimension mutation happens here, before the
+	// concurrent phase).
+	type row struct {
+		refs []mdm.ValueID
+		meas []float64
+	}
+	var rows []row
+	cfg := workload.ClickConfig{Seed: 13, Start: caltime.Date(2000, 1, 1), Days: 90, ClicksPerDay: 10}
+	err = workload.GenerateClicks(cfg, func(c workload.Click) error {
+		refs, meas, err := obj.Row(c)
+		if err != nil {
+			return err
+		}
+		rows = append(rows, row{refs, meas})
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	// Readers.
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := w.Query(`aggregate [Time.month, URL.domain_grp]`); err != nil {
+					t.Error(err)
+					return
+				}
+				_ = w.Stats()
+				_ = w.Now()
+			}
+		}()
+	}
+	// Writer.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(stop)
+		day := caltime.Date(2000, 1, 2)
+		for i, r := range rows {
+			if err := w.Load(r.refs, r.meas); err != nil {
+				t.Error(err)
+				return
+			}
+			if i%200 == 199 {
+				day += 20
+				if err := w.AdvanceTo(day); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}
+	}()
+	wg.Wait()
+
+	// Everything loaded is queryable.
+	if err := w.AdvanceTo(caltime.Date(2000, 8, 1)); err != nil {
+		t.Fatal(err)
+	}
+	res, err := w.Query(`aggregate [Time.TOP, URL.TOP]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 1 || res.Measure(0, 0) != float64(len(rows)) {
+		t.Errorf("grand count = %v, want %d", res.Measure(0, 0), len(rows))
+	}
+}

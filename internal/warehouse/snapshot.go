@@ -1,0 +1,272 @@
+package warehouse
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"dimred/internal/caltime"
+	"dimred/internal/dims"
+	"dimred/internal/mdm"
+	"dimred/internal/spec"
+)
+
+// snapshot DTOs: plain exported structs gob-encoded to disk. The format
+// is versioned; Load rejects unknown versions.
+
+const snapshotVersion = 1
+
+type snapValue struct {
+	Cat     int32
+	Name    string
+	Ord     int64
+	Parents map[int32]int32 // category -> value id, TOP parents omitted
+}
+
+type snapCategory struct {
+	Name    string
+	Ordered bool
+	Anc     []int32 // immediate ancestor category ids (TOP omitted)
+}
+
+type snapDimension struct {
+	Name       string
+	Categories []snapCategory // excluding the auto-added TOP
+	Values     []snapValue    // in value-id order, excluding the TOP value
+}
+
+type snapMeasure struct {
+	Name string
+	Agg  int32
+}
+
+type snapAction struct {
+	Name string
+	Src  string
+}
+
+type snapRow struct {
+	Refs []int32
+	Meas []float64
+	Base int64
+}
+
+type snapshotFile struct {
+	Version     int
+	FactType    string
+	TimeDimName string
+	Dimensions  []snapDimension
+	Measures    []snapMeasure
+	Actions     []snapAction
+	Rows        []snapRow // across all cubes; routed by granularity on load
+	Loaded      int64
+	Deleted     int64
+	Now         int64
+	LastSync    int64
+	Synced      bool
+}
+
+// Save serializes the warehouse — dimensions, specification, subcube
+// rows and clock state — so Load can reconstruct it byte-for-byte
+// equivalent (same value ids, same rows, same specification).
+func (w *Warehouse) Save(out io.Writer) error {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+
+	sf := snapshotFile{
+		Version:  snapshotVersion,
+		FactType: w.env.Schema.FactType,
+		Loaded:   w.loaded,
+		Deleted:  w.cubes.DeletedFacts(),
+		Now:      int64(w.sched.Now()),
+	}
+	if w.env.TimeDim >= 0 {
+		sf.TimeDimName = w.env.Schema.Dims[w.env.TimeDim].Name()
+	}
+	if last, ok := w.cubes.LastSync(); ok {
+		sf.LastSync, sf.Synced = int64(last), true
+	}
+	for _, d := range w.env.Schema.Dims {
+		sf.Dimensions = append(sf.Dimensions, snapDimensionOf(d))
+	}
+	for _, m := range w.env.Schema.Measures {
+		sf.Measures = append(sf.Measures, snapMeasure{Name: m.Name, Agg: int32(m.Agg)})
+	}
+	for _, a := range w.sp.Actions() {
+		sf.Actions = append(sf.Actions, snapAction{Name: a.Name(), Src: a.Source().String()})
+	}
+	for _, c := range w.cubes.Cubes() {
+		mo, err := c.MO(w.env.Schema)
+		if err != nil {
+			return err
+		}
+		for f := 0; f < mo.Len(); f++ {
+			fid := mdm.FactID(f)
+			refs := mo.Refs(fid)
+			r := snapRow{Refs: make([]int32, len(refs)), Meas: mo.Measures(fid), Base: mo.BaseCount(fid)}
+			for i, v := range refs {
+				r.Refs[i] = int32(v)
+			}
+			sf.Rows = append(sf.Rows, r)
+		}
+	}
+	return gob.NewEncoder(out).Encode(sf)
+}
+
+func snapDimensionOf(d *mdm.Dimension) snapDimension {
+	sd := snapDimension{Name: d.Name()}
+	top := d.Top()
+	for c := 0; c < d.NumCategories(); c++ {
+		cid := mdm.CategoryID(c)
+		if cid == top {
+			continue
+		}
+		cat := d.Category(cid)
+		sc := snapCategory{Name: cat.Name, Ordered: cat.Ordered}
+		for _, a := range d.Anc(cid) {
+			if a != top {
+				sc.Anc = append(sc.Anc, int32(a))
+			}
+		}
+		sd.Categories = append(sd.Categories, sc)
+	}
+	topValue := d.TopValueID()
+	for v := 0; v < d.NumValues(); v++ {
+		vid := mdm.ValueID(v)
+		if vid == topValue {
+			continue
+		}
+		sv := snapValue{
+			Cat:     int32(d.CategoryOf(vid)),
+			Name:    d.ValueName(vid),
+			Ord:     d.ValueOrd(vid),
+			Parents: map[int32]int32{},
+		}
+		for pc, pv := range d.ParentsOf(vid) {
+			if pc == top {
+				continue
+			}
+			sv.Parents[int32(pc)] = int32(pv)
+		}
+		sd.Values = append(sd.Values, sv)
+	}
+	return sd
+}
+
+// LoadedDims gives callers access to the reconstructed dimensions of a
+// loaded warehouse, so they can keep inserting facts (EnsureDay,
+// EnsureURL, ...).
+type LoadedDims struct {
+	Time   *dims.TimeDim // nil when the schema has no time dimension
+	ByName map[string]*mdm.Dimension
+}
+
+// Load reconstructs a warehouse from a snapshot written by Save.
+func Load(in io.Reader) (*Warehouse, *LoadedDims, error) {
+	var sf snapshotFile
+	if err := gob.NewDecoder(in).Decode(&sf); err != nil {
+		return nil, nil, fmt.Errorf("warehouse: Load: %w", err)
+	}
+	if sf.Version != snapshotVersion {
+		return nil, nil, fmt.Errorf("warehouse: Load: unsupported snapshot version %d", sf.Version)
+	}
+
+	loaded := &LoadedDims{ByName: make(map[string]*mdm.Dimension)}
+	var dimensions []*mdm.Dimension
+	for _, sd := range sf.Dimensions {
+		d, err := restoreDimension(sd)
+		if err != nil {
+			return nil, nil, err
+		}
+		dimensions = append(dimensions, d)
+		loaded.ByName[sd.Name] = d
+	}
+	measures := make([]mdm.Measure, len(sf.Measures))
+	for j, m := range sf.Measures {
+		measures[j] = mdm.Measure{Name: m.Name, Agg: mdm.AggKind(m.Agg)}
+	}
+	schema, err := mdm.NewSchema(sf.FactType, dimensions, measures)
+	if err != nil {
+		return nil, nil, fmt.Errorf("warehouse: Load: %w", err)
+	}
+	var tm spec.TimeModel
+	if sf.TimeDimName != "" {
+		td, err := dims.TimeDimFrom(loaded.ByName[sf.TimeDimName])
+		if err != nil {
+			return nil, nil, fmt.Errorf("warehouse: Load: %w", err)
+		}
+		loaded.Time = td
+		tm = td
+	}
+	env, err := spec.NewEnv(schema, sf.TimeDimName, tm)
+	if err != nil {
+		return nil, nil, fmt.Errorf("warehouse: Load: %w", err)
+	}
+	actions := make([]*spec.Action, len(sf.Actions))
+	for i, sa := range sf.Actions {
+		actions[i], err = spec.CompileString(sa.Name, sa.Src, env)
+		if err != nil {
+			return nil, nil, fmt.Errorf("warehouse: Load: %w", err)
+		}
+	}
+	w, err := Open(env, actions...)
+	if err != nil {
+		return nil, nil, fmt.Errorf("warehouse: Load: %w", err)
+	}
+	refs := make([]mdm.ValueID, len(dimensions))
+	for _, r := range sf.Rows {
+		if len(r.Refs) != len(refs) {
+			return nil, nil, fmt.Errorf("warehouse: Load: row arity mismatch")
+		}
+		for i, v := range r.Refs {
+			refs[i] = mdm.ValueID(v)
+		}
+		if err := w.cubes.RestoreRow(refs, r.Meas, r.Base); err != nil {
+			return nil, nil, err
+		}
+	}
+	w.loaded = sf.Loaded
+	w.cubes.RestoreSyncState(caltime.Day(sf.LastSync), sf.Synced, sf.Deleted)
+	w.sched.Restore(caltime.Day(sf.Now), sf.Synced)
+	return w, loaded, nil
+}
+
+func restoreDimension(sd snapDimension) (*mdm.Dimension, error) {
+	d := mdm.NewDimension(sd.Name)
+	ids := make([]mdm.CategoryID, len(sd.Categories))
+	for i, sc := range sd.Categories {
+		id, err := d.AddCategory(sc.Name, sc.Ordered)
+		if err != nil {
+			return nil, fmt.Errorf("warehouse: Load: %w", err)
+		}
+		if int(id) != i {
+			return nil, fmt.Errorf("warehouse: Load: category id drift in dimension %s", sd.Name)
+		}
+		ids[i] = id
+	}
+	for i, sc := range sd.Categories {
+		for _, a := range sc.Anc {
+			if int(a) >= len(ids) {
+				return nil, fmt.Errorf("warehouse: Load: bad ancestor category in dimension %s", sd.Name)
+			}
+			if err := d.Contains(ids[i], ids[a]); err != nil {
+				return nil, fmt.Errorf("warehouse: Load: %w", err)
+			}
+		}
+	}
+	if err := d.Finalize(); err != nil {
+		return nil, fmt.Errorf("warehouse: Load: %w", err)
+	}
+	// The TOP value was created by Finalize with the same id (0) it had
+	// originally; remaining values restore in id order.
+	for _, sv := range sd.Values {
+		parents := make(map[mdm.CategoryID]mdm.ValueID, len(sv.Parents))
+		for pc, pv := range sv.Parents {
+			parents[mdm.CategoryID(pc)] = mdm.ValueID(pv)
+		}
+		if _, err := d.AddValue(mdm.CategoryID(sv.Cat), sv.Name, sv.Ord, parents); err != nil {
+			return nil, fmt.Errorf("warehouse: Load: %w", err)
+		}
+	}
+	return d, nil
+}

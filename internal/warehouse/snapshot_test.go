@@ -1,0 +1,148 @@
+package warehouse
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"dimred/internal/caltime"
+	"dimred/internal/mdm"
+	"dimred/internal/spec"
+	"dimred/internal/workload"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	// Build, load and age a warehouse.
+	obj, err := workload.NewClickSchema()
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := spec.NewEnv(obj.Schema, "Time", obj.Time)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := Open(env,
+		spec.MustCompileString("m", `aggregate [Time.month, URL.domain] where Time.month <= NOW - 2 months`, env),
+		spec.MustCompileString("q", `aggregate [Time.quarter, URL.domain_grp] where Time.quarter <= NOW - 4 quarters`, env),
+		spec.MustCompileString("purge", `delete where Time.year <= NOW - 5 years`, env))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AdvanceTo(caltime.Date(2000, 1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	cfg := workload.ClickConfig{Seed: 17, Start: caltime.Date(2000, 1, 1), Days: 200, ClicksPerDay: 12}
+	err = w.LoadBatch(func(load func([]mdm.ValueID, []float64) error) error {
+		return workload.GenerateClicks(cfg, func(c workload.Click) error {
+			refs, meas, err := obj.Row(c)
+			if err != nil {
+				return err
+			}
+			return load(refs, meas)
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AdvanceTo(caltime.Date(2001, 3, 10)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Save and load.
+	var buf bytes.Buffer
+	if err := w.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	w2, ld, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ld.Time == nil || len(ld.ByName) != 2 {
+		t.Fatal("LoadedDims incomplete")
+	}
+
+	// Identical state: clock, stats, query answers.
+	if w2.Now() != w.Now() {
+		t.Errorf("clock %v vs %v", w2.Now(), w.Now())
+	}
+	s1, s2 := w.Stats(), w2.Stats()
+	if s1.Rows != s2.Rows || s1.FactBytes != s2.FactBytes || s1.LoadedFacts != s2.LoadedFacts {
+		t.Errorf("stats differ:\n%v\nvs\n%v", s1, s2)
+	}
+	for _, q := range []string{
+		`aggregate [Time.TOP, URL.TOP]`,
+		`aggregate [Time.month, URL.domain_grp]`,
+		`aggregate [Time.quarter, URL.domain] where URL.domain_grp = ".com"`,
+	} {
+		r1, err := w.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2, err := w2.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r1.Dump() != r2.Dump() {
+			t.Errorf("query %q differs after round trip:\n%s\nvs\n%s", q, r1.Dump(), r2.Dump())
+		}
+	}
+
+	// The loaded warehouse keeps living: new facts, more aging.
+	err = w2.LoadBatch(func(load func([]mdm.ValueID, []float64) error) error {
+		d := ld.Time.EnsureDay(caltime.Date(2001, 3, 9))
+		u, ok := ld.ByName["URL"]
+		if !ok {
+			t.Fatal("URL dimension missing")
+		}
+		// Re-use an existing url value (the dimension was restored).
+		urlCat, _ := u.CategoryByName("url")
+		v := u.ValuesIn(urlCat)[0]
+		return load([]mdm.ValueID{d, v}, []float64{1, 42, 1, 7})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.AdvanceTo(caltime.Date(2002, 1, 5)); err != nil {
+		t.Fatal(err)
+	}
+	res, err := w2.Query(`aggregate [Time.TOP, URL.TOP]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Measure(0, 0) != float64(200*12+1) {
+		t.Errorf("post-restore count = %v", res.Measure(0, 0))
+	}
+}
+
+func TestSnapshotLoadErrors(t *testing.T) {
+	if _, _, err := Load(strings.NewReader("not a snapshot")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, _, err := Load(strings.NewReader("")); err == nil {
+		t.Error("empty input accepted")
+	}
+}
+
+func TestSnapshotOfPaperWarehouse(t *testing.T) {
+	// The running example through a save/load cycle keeps Figure 3's
+	// third snapshot intact.
+	w, obj := openClickWarehouse(t)
+	_ = obj
+	var buf bytes.Buffer
+	if err := w.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	w2, _, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(w2.Spec().Actions()); got != 2 {
+		t.Errorf("actions after load = %d", got)
+	}
+	if u, ok := w2.Cubes().LastSync(); ok != false {
+		_ = u // never synced in openClickWarehouse; both should agree
+		if l1, ok1 := w.Cubes().LastSync(); !ok1 || l1 != u {
+			t.Error("sync state drift")
+		}
+	}
+}

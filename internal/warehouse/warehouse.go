@@ -1,0 +1,268 @@
+// Package warehouse is the top-level facade of the library: a
+// dimensional data warehouse whose detail data is gradually and
+// automatically reduced under a specification, exactly the system the
+// paper describes end to end — load click (or any) facts, let time pass,
+// and query the warehouse at any granularity while storage shrinks and
+// the specified summaries remain exact.
+package warehouse
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"dimred/internal/caltime"
+	"dimred/internal/mdm"
+	"dimred/internal/query"
+	"dimred/internal/relstore"
+	"dimred/internal/sched"
+	"dimred/internal/spec"
+	"dimred/internal/storage"
+	"dimred/internal/subcube"
+)
+
+// Warehouse combines a reduction specification, its subcube realization
+// and the synchronization scheduler behind a single API.
+// A Warehouse is safe for concurrent use: queries and stats may run in
+// parallel; loads, clock advances and specification updates are
+// serialized behind a write lock.
+type Warehouse struct {
+	mu    sync.RWMutex
+	env   *spec.Env
+	sp    *spec.Spec
+	cubes *subcube.CubeSet
+	sched *sched.Scheduler
+	// loaded counts user facts ever loaded.
+	loaded int64
+}
+
+// Open creates a warehouse for the given environment and initial action
+// set (which must form a valid — Growing and NonCrossing —
+// specification).
+func Open(env *spec.Env, actions ...*spec.Action) (*Warehouse, error) {
+	sp, err := spec.New(env, actions...)
+	if err != nil {
+		return nil, err
+	}
+	cs, err := subcube.New(sp)
+	if err != nil {
+		return nil, err
+	}
+	return &Warehouse{env: env, sp: sp, cubes: cs, sched: sched.New(cs)}, nil
+}
+
+// Env returns the schema environment.
+func (w *Warehouse) Env() *spec.Env { return w.env }
+
+// Spec returns the active reduction specification.
+func (w *Warehouse) Spec() *spec.Spec { return w.sp }
+
+// Cubes returns the subcube realization.
+func (w *Warehouse) Cubes() *subcube.CubeSet { return w.cubes }
+
+// Now returns the warehouse clock.
+func (w *Warehouse) Now() caltime.Day {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	return w.sched.Now()
+}
+
+// AdvanceTo moves the clock to t; the scheduler synchronizes the
+// subcubes when a significant period boundary has been crossed.
+func (w *Warehouse) AdvanceTo(t caltime.Day) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	_, err := w.sched.AdvanceTo(t)
+	return err
+}
+
+// Load ingests one bottom-granularity fact.
+func (w *Warehouse) Load(refs []mdm.ValueID, meas []float64) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.loadLocked(refs, meas)
+}
+
+func (w *Warehouse) loadLocked(refs []mdm.ValueID, meas []float64) error {
+	if err := w.cubes.Insert(refs, meas); err != nil {
+		return err
+	}
+	w.loaded++
+	return nil
+}
+
+// LoadBatch ingests facts and then synchronizes, the paper's bulk-load
+// discipline.
+func (w *Warehouse) LoadBatch(rows func(load func(refs []mdm.ValueID, meas []float64) error) error) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := rows(w.loadLocked); err != nil {
+		return err
+	}
+	return w.sched.OnBulkLoad()
+}
+
+// Query evaluates an OLAP query (the action-specification syntax,
+// e.g. "aggregate [Time.month, URL.domain] where ...") at the current
+// clock, using the paper's default approaches.
+func (w *Warehouse) Query(src string) (*mdm.MO, error) {
+	q, err := subcube.ParseQuery(src, w.env)
+	if err != nil {
+		return nil, err
+	}
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	return w.cubes.Evaluate(q, w.sched.Now())
+}
+
+// QueryWith evaluates a query with explicit selection and aggregation
+// approaches (the defaults are conservative and availability).
+func (w *Warehouse) QueryWith(src string, sel query.Approach, agg query.AggApproach) (*mdm.MO, error) {
+	q, err := subcube.ParseQuery(src, w.env)
+	if err != nil {
+		return nil, err
+	}
+	q.Sel, q.Agg = sel, agg
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	return w.cubes.Evaluate(q, w.sched.Now())
+}
+
+// QueryAt evaluates a prepared query at an explicit time.
+func (w *Warehouse) QueryAt(q subcube.Query, t caltime.Day) (*mdm.MO, error) {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	return w.cubes.Evaluate(q, t)
+}
+
+// InsertActions extends the specification (Definition 3) and rebuilds
+// the subcube layout for it.
+func (w *Warehouse) InsertActions(actions ...*spec.Action) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.sp.Insert(actions...); err != nil {
+		return err
+	}
+	return w.cubes.ApplySpec(w.sp, w.sched.Now())
+}
+
+// DeleteActions removes actions (Definition 4: all or none, and only if
+// no removed action is responsible for any current row's level) and
+// rebuilds the subcube layout.
+func (w *Warehouse) DeleteActions(names ...string) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	// Materialize the current facts so the responsibility check of
+	// Definition 4 sees the warehouse state.
+	mo, err := w.materialize()
+	if err != nil {
+		return err
+	}
+	if err := w.sp.Delete(mo, w.sched.Now(), names...); err != nil {
+		return err
+	}
+	return w.cubes.ApplySpec(w.sp, w.sched.Now())
+}
+
+func (w *Warehouse) materialize() (*mdm.MO, error) {
+	out := mdm.NewMO(w.env.Schema)
+	for _, c := range w.cubes.Cubes() {
+		mo, err := c.MO(w.env.Schema)
+		if err != nil {
+			return nil, err
+		}
+		for f := 0; f < mo.Len(); f++ {
+			fid := mdm.FactID(f)
+			if _, err := out.AddFactAt(mo.Refs(fid), mo.Measures(fid), mo.BaseCount(fid), ""); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}
+
+// Explain reports which actions apply to a cell at the warehouse clock
+// and what level each dimension is aggregated to — the paper's "why is
+// my data aggregated this way" requirement, at the facade.
+func (w *Warehouse) Explain(refs []mdm.ValueID) string {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	return w.sp.Explain(refs, w.sched.Now())
+}
+
+// ExportStar materializes the warehouse's current contents — rows of
+// every subcube, at their mixed granularities — as a relational star
+// schema (Section 7's "standard data warehouse technology"): one
+// denormalized dimension table per dimension and one fact table whose
+// rows reference dimension values at whatever level they live at.
+func (w *Warehouse) ExportStar() (*relstore.Star, error) {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	mo, err := w.materialize()
+	if err != nil {
+		return nil, err
+	}
+	return relstore.BuildStar(mo)
+}
+
+// CubeStat describes one subcube in Stats.
+type CubeStat struct {
+	Granularity string
+	Rows        int
+	Bytes       int64
+}
+
+// Stats is a storage report for the warehouse.
+type Stats struct {
+	LoadedFacts    int64
+	Rows           int
+	FactBytes      int64
+	DimensionBytes int64
+	// UnreducedBytes models what the fact data would occupy with no
+	// reduction (loaded facts at the bottom layout).
+	UnreducedBytes int64
+	PerCube        []CubeStat
+}
+
+// Savings returns the fraction of fact storage saved versus keeping all
+// detail.
+func (s Stats) Savings() float64 {
+	if s.UnreducedBytes == 0 {
+		return 0
+	}
+	return 1 - float64(s.FactBytes)/float64(s.UnreducedBytes)
+}
+
+// String renders the report.
+func (s Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "facts loaded: %d, rows stored: %d\n", s.LoadedFacts, s.Rows)
+	fmt.Fprintf(&b, "fact bytes: %d (unreduced: %d, savings: %.1f%%), dimension bytes: %d\n",
+		s.FactBytes, s.UnreducedBytes, 100*s.Savings(), s.DimensionBytes)
+	for _, c := range s.PerCube {
+		fmt.Fprintf(&b, "  %-40s rows=%-8d bytes=%d\n", c.Granularity, c.Rows, c.Bytes)
+	}
+	return b.String()
+}
+
+// Stats reports the warehouse's storage state.
+func (w *Warehouse) Stats() Stats {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	st := Stats{LoadedFacts: w.loaded}
+	layout := storage.Layout{DimCols: w.env.Schema.NumDims(), MeasCols: len(w.env.Schema.Measures)}
+	st.UnreducedBytes = w.loaded * layout.RowBytes()
+	for _, c := range w.cubes.Cubes() {
+		st.Rows += c.Rows()
+		st.FactBytes += c.Bytes()
+		st.PerCube = append(st.PerCube, CubeStat{
+			Granularity: w.env.Schema.GranString(c.Gran()),
+			Rows:        c.Rows(),
+			Bytes:       c.Bytes(),
+		})
+	}
+	for _, d := range w.env.Schema.Dims {
+		st.DimensionBytes += storage.DimensionBytes(d)
+	}
+	return st
+}

@@ -1,0 +1,29 @@
+package workload
+
+import (
+	"testing"
+
+	"dimred/internal/caltime"
+)
+
+func BenchmarkGenerateClicks(b *testing.B) {
+	cfg := ClickConfig{Seed: 1, Start: caltime.Date(2000, 1, 1), Days: 30, ClicksPerDay: 1000}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		if err := GenerateClicks(cfg, func(Click) error { n++; return nil }); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(30000, "clicks/op")
+}
+
+func BenchmarkBuildRetailMO(b *testing.B) {
+	cfg := RetailConfig{Seed: 1, Start: caltime.Date(2020, 1, 1), Days: 30, SalesPerDay: 200}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := BuildRetailMO(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

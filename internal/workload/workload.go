@@ -1,0 +1,261 @@
+// Package workload generates synthetic datasets for the experiments:
+// an ISP click-stream in the shape of the paper's Section 2 scenario
+// (Zipf-distributed URL popularity, time-ordered arrivals over a day
+// range) and a retail sales stream matching the paper's introductory
+// example ("sums of sales should be aggregated from the daily to the
+// monthly level when between six months and three years old"). All
+// generation is deterministic under a seed.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dimred/internal/caltime"
+	"dimred/internal/dims"
+	"dimred/internal/mdm"
+)
+
+// ClickConfig parameterizes the click-stream generator.
+type ClickConfig struct {
+	Seed          int64
+	Start         caltime.Day // first day of the stream
+	Days          int         // number of days
+	ClicksPerDay  int
+	Domains       int      // number of second-level domains
+	URLsPerDomain int      // distinct urls per domain
+	Groups        []string // top-level groups; default {".com", ".edu", ".org"}
+	ZipfS         float64  // Zipf skew (> 1); default 1.3
+}
+
+func (c ClickConfig) withDefaults() ClickConfig {
+	if len(c.Groups) == 0 {
+		c.Groups = []string{".com", ".edu", ".org"}
+	}
+	if c.ZipfS <= 1 {
+		c.ZipfS = 1.3
+	}
+	if c.Domains <= 0 {
+		c.Domains = 20
+	}
+	if c.URLsPerDomain <= 0 {
+		c.URLsPerDomain = 10
+	}
+	if c.Days <= 0 {
+		c.Days = 30
+	}
+	if c.ClicksPerDay <= 0 {
+		c.ClicksPerDay = 100
+	}
+	return c
+}
+
+// Click is one generated click fact: measures follow the paper's fact
+// signature (Number_of, Dwell_time, Delivery_time, Datasize).
+type Click struct {
+	Day      caltime.Day
+	URL      string
+	Dwell    float64
+	Delivery float64
+	SizeKB   float64
+}
+
+// GenerateClicks streams the click facts in day order, calling fn for
+// each; generation stops at the first error.
+func GenerateClicks(cfg ClickConfig, fn func(Click) error) error {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	nURLs := cfg.Domains * cfg.URLsPerDomain
+	zipf := rand.NewZipf(rng, cfg.ZipfS, 1, uint64(nURLs-1))
+	if zipf == nil {
+		return fmt.Errorf("workload: invalid Zipf parameters (s=%v)", cfg.ZipfS)
+	}
+	for day := 0; day < cfg.Days; day++ {
+		d := cfg.Start + caltime.Day(day)
+		for i := 0; i < cfg.ClicksPerDay; i++ {
+			u := int(zipf.Uint64())
+			click := Click{
+				Day:      d,
+				URL:      urlName(cfg, u),
+				Dwell:    float64(1 + rng.Intn(600)),
+				Delivery: float64(1 + rng.Intn(10)),
+				SizeKB:   float64(1 + rng.Intn(100)),
+			}
+			if err := fn(click); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// urlName derives the i'th URL of the pool: domains rotate through the
+// groups, urls are paths under the domain.
+func urlName(cfg ClickConfig, i int) string {
+	domain := i / cfg.URLsPerDomain
+	path := i % cfg.URLsPerDomain
+	group := cfg.Groups[domain%len(cfg.Groups)]
+	return fmt.Sprintf("http://www.site%d%s/page/%d", domain, group, path)
+}
+
+// ClickObject bundles a generated click-stream MO with its dimensions,
+// mirroring dims.PaperObject.
+type ClickObject struct {
+	MO     *mdm.MO
+	Schema *mdm.Schema
+	Time   *dims.TimeDim
+	URL    *dims.URLDim
+}
+
+// NewClickSchema constructs the click-stream schema over fresh Time and
+// URL dimensions.
+func NewClickSchema() (*ClickObject, error) {
+	td := dims.NewTimeDim()
+	ud := dims.NewURLDim()
+	schema, err := mdm.NewSchema("Click",
+		[]*mdm.Dimension{td.Dimension, ud.Dimension},
+		[]mdm.Measure{
+			{Name: "Number_of", Agg: mdm.AggSum},
+			{Name: "Dwell_time", Agg: mdm.AggSum},
+			{Name: "Delivery_time", Agg: mdm.AggSum},
+			{Name: "Datasize", Agg: mdm.AggSum},
+		})
+	if err != nil {
+		return nil, err
+	}
+	obj := &ClickObject{Schema: schema, Time: td, URL: ud}
+	obj.MO = mdm.NewMO(schema)
+	return obj, nil
+}
+
+// Row converts a click to a bottom-granularity fact row against the
+// object's dimensions, creating dimension values as needed.
+func (o *ClickObject) Row(c Click) ([]mdm.ValueID, []float64, error) {
+	dv := o.Time.EnsureDay(c.Day)
+	uv, err := o.URL.EnsureURL(c.URL)
+	if err != nil {
+		return nil, nil, err
+	}
+	return []mdm.ValueID{dv, uv}, []float64{1, c.Dwell, c.Delivery, c.SizeKB}, nil
+}
+
+// BuildClickMO generates the configured click-stream into a fresh MO.
+func BuildClickMO(cfg ClickConfig) (*ClickObject, error) {
+	obj, err := NewClickSchema()
+	if err != nil {
+		return nil, err
+	}
+	err = GenerateClicks(cfg, func(c Click) error {
+		refs, meas, err := obj.Row(c)
+		if err != nil {
+			return err
+		}
+		_, err = obj.MO.AddFact(refs, meas)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return obj, nil
+}
+
+// RetailConfig parameterizes the retail sales generator.
+type RetailConfig struct {
+	Seed        int64
+	Start       caltime.Day
+	Days        int
+	SalesPerDay int
+	Stores      int // stores, grouped into cities and regions
+	Products    int // products, grouped into categories and departments
+}
+
+func (c RetailConfig) withDefaults() RetailConfig {
+	if c.Days <= 0 {
+		c.Days = 30
+	}
+	if c.SalesPerDay <= 0 {
+		c.SalesPerDay = 50
+	}
+	if c.Stores <= 0 {
+		c.Stores = 12
+	}
+	if c.Products <= 0 {
+		c.Products = 40
+	}
+	return c
+}
+
+// RetailObject bundles a generated retail MO with its dimensions.
+type RetailObject struct {
+	MO      *mdm.MO
+	Schema  *mdm.Schema
+	Time    *dims.TimeDim
+	Store   *dims.LinearDim
+	Product *dims.LinearDim
+}
+
+// BuildRetailMO generates a three-dimensional retail sales MO: Time ×
+// Store (store < city < region) × Product (product < category <
+// department), with SUM measures Quantity and Amount.
+func BuildRetailMO(cfg RetailConfig) (*RetailObject, error) {
+	cfg = cfg.withDefaults()
+	td := dims.NewTimeDim()
+	sd, err := dims.NewLinearDim("Store", "store", "city", "region")
+	if err != nil {
+		return nil, err
+	}
+	pd, err := dims.NewLinearDim("Product", "product", "category", "department")
+	if err != nil {
+		return nil, err
+	}
+	schema, err := mdm.NewSchema("Sale",
+		[]*mdm.Dimension{td.Dimension, sd.Dimension, pd.Dimension},
+		[]mdm.Measure{
+			{Name: "Quantity", Agg: mdm.AggSum},
+			{Name: "Amount", Agg: mdm.AggSum},
+		})
+	if err != nil {
+		return nil, err
+	}
+	obj := &RetailObject{MO: mdm.NewMO(schema), Schema: schema, Time: td, Store: sd, Product: pd}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	storeVals := make([]mdm.ValueID, cfg.Stores)
+	for i := range storeVals {
+		city := i / 3
+		region := city / 2
+		storeVals[i], err = sd.Ensure(
+			fmt.Sprintf("store-%d", i),
+			fmt.Sprintf("city-%d", city),
+			fmt.Sprintf("region-%d", region))
+		if err != nil {
+			return nil, err
+		}
+	}
+	productVals := make([]mdm.ValueID, cfg.Products)
+	for i := range productVals {
+		cat := i / 5
+		dept := cat / 3
+		productVals[i], err = pd.Ensure(
+			fmt.Sprintf("product-%d", i),
+			fmt.Sprintf("category-%d", cat),
+			fmt.Sprintf("department-%d", dept))
+		if err != nil {
+			return nil, err
+		}
+	}
+	for day := 0; day < cfg.Days; day++ {
+		dv := td.EnsureDay(cfg.Start + caltime.Day(day))
+		for i := 0; i < cfg.SalesPerDay; i++ {
+			qty := float64(1 + rng.Intn(5))
+			price := float64(1+rng.Intn(200)) / 2
+			_, err := obj.MO.AddFact(
+				[]mdm.ValueID{dv, storeVals[rng.Intn(cfg.Stores)], productVals[rng.Intn(cfg.Products)]},
+				[]float64{qty, qty * price})
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	return obj, nil
+}

@@ -1,0 +1,133 @@
+package workload
+
+import (
+	"errors"
+	"testing"
+
+	"dimred/internal/caltime"
+	"dimred/internal/mdm"
+)
+
+func TestGenerateClicksDeterministic(t *testing.T) {
+	cfg := ClickConfig{Seed: 42, Start: caltime.Date(2000, 1, 1), Days: 5, ClicksPerDay: 20}
+	collect := func() []Click {
+		var out []Click
+		if err := GenerateClicks(cfg, func(c Click) error { out = append(out, c); return nil }); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	a, b := collect(), collect()
+	if len(a) != 100 || len(b) != 100 {
+		t.Fatalf("clicks = %d, %d; want 100", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("generation not deterministic at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	// Days are in order and within range.
+	for _, c := range a {
+		if c.Day < cfg.Start || c.Day >= cfg.Start+5 {
+			t.Errorf("day %v out of range", c.Day)
+		}
+		if c.Dwell <= 0 || c.SizeKB <= 0 {
+			t.Errorf("bad measures: %+v", c)
+		}
+	}
+}
+
+func TestGenerateClicksStopsOnError(t *testing.T) {
+	cfg := ClickConfig{Seed: 1, Start: 0, Days: 10, ClicksPerDay: 10}
+	boom := errors.New("boom")
+	n := 0
+	err := GenerateClicks(cfg, func(Click) error {
+		n++
+		if n == 7 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) || n != 7 {
+		t.Errorf("err=%v n=%d", err, n)
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	// The most popular URL should receive far more clicks than the
+	// median one.
+	cfg := ClickConfig{Seed: 7, Start: 0, Days: 10, ClicksPerDay: 500, Domains: 10, URLsPerDomain: 10}
+	counts := map[string]int{}
+	if err := GenerateClicks(cfg, func(c Click) error { counts[c.URL]++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	max := 0
+	for _, n := range counts {
+		if n > max {
+			max = n
+		}
+	}
+	if max < 1000 { // out of 5000 clicks, the head should dominate
+		t.Errorf("head url count = %d; distribution not skewed", max)
+	}
+}
+
+func TestBuildClickMO(t *testing.T) {
+	cfg := ClickConfig{Seed: 3, Start: caltime.Date(1999, 11, 1), Days: 14, ClicksPerDay: 30, Domains: 6, URLsPerDomain: 4}
+	obj, err := BuildClickMO(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obj.MO.Len() != 14*30 {
+		t.Fatalf("facts = %d", obj.MO.Len())
+	}
+	// All facts at bottom granularity.
+	g := obj.MO.Gran(0)
+	if obj.Schema.GranString(g) != "(Time.day, URL.url)" {
+		t.Errorf("granularity = %s", obj.Schema.GranString(g))
+	}
+	// The Time dimension covers the generated range sparsely.
+	min, max, ok := obj.Time.Range()
+	if !ok || min != cfg.Start || max != cfg.Start+13 {
+		t.Errorf("time range = %v..%v", min, max)
+	}
+	// Number_of sums to the click count.
+	if got := obj.MO.TotalMeasure(0); got != float64(obj.MO.Len()) {
+		t.Errorf("Number_of total = %v", got)
+	}
+	// URL groups respected.
+	if got := len(obj.URL.ValuesIn(obj.URL.Group)); got != 3 {
+		t.Errorf("groups = %d", got)
+	}
+}
+
+func TestBuildRetailMO(t *testing.T) {
+	cfg := RetailConfig{Seed: 5, Start: caltime.Date(2020, 1, 1), Days: 10, SalesPerDay: 20, Stores: 6, Products: 15}
+	obj, err := BuildRetailMO(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obj.MO.Len() != 200 {
+		t.Fatalf("facts = %d", obj.MO.Len())
+	}
+	if obj.Schema.NumDims() != 3 {
+		t.Error("retail schema should have 3 dimensions")
+	}
+	// Store hierarchy: 6 stores over 2 cities over 1 region.
+	if got := len(obj.Store.ValuesIn(obj.Store.Levels[0])); got != 6 {
+		t.Errorf("stores = %d", got)
+	}
+	if got := len(obj.Store.ValuesIn(obj.Store.Levels[1])); got != 2 {
+		t.Errorf("cities = %d", got)
+	}
+	// Amount total is positive and reproducible.
+	a1 := obj.MO.TotalMeasure(1)
+	obj2, err := BuildRetailMO(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a2 := obj2.MO.TotalMeasure(1); a1 != a2 || a1 <= 0 {
+		t.Errorf("amount totals %v vs %v", a1, a2)
+	}
+	_ = mdm.FactID(0)
+}
