@@ -165,11 +165,12 @@ func runExplain(args []string) error {
 
 // runQuery evaluates a query against a snapshot:
 //
-//	dimred query -snapshot wh.snapshot 'aggregate [Time.month, URL.domain_grp]' [-at 2001/6/1]
+//	dimred query -snapshot wh.snapshot 'aggregate [Time.month, URL.domain_grp]' [-at 2001/6/1] [-trace]
 func runQuery(args []string) error {
 	fs := flag.NewFlagSet("query", flag.ExitOnError)
 	snapPath := fs.String("snapshot", "warehouse.snapshot", "snapshot to query")
 	atStr := fs.String("at", "", "query time (default: the snapshot's clock)")
+	trace := fs.Bool("trace", false, "print the query's execution trace")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -185,23 +186,27 @@ func runQuery(args []string) error {
 	if err != nil {
 		return err
 	}
+	at := w.Now()
 	if *atStr != "" {
-		at, err := caltime.ParseDay(*atStr)
+		if at, err = caltime.ParseDay(*atStr); err != nil {
+			return err
+		}
+	}
+	q, err := dimred.ParseQuery(fs.Arg(0), w.Env())
+	if err != nil {
+		return err
+	}
+	if *trace {
+		res, tr, err := w.QueryAtTraced(q, at)
 		if err != nil {
 			return err
 		}
-		q, err := dimred.ParseQuery(fs.Arg(0), w.Env())
-		if err != nil {
-			return err
-		}
-		res, err := w.QueryAt(q, at)
-		if err != nil {
-			return err
-		}
+		tr.Query = fs.Arg(0)
 		fmt.Print(res.Dump())
+		fmt.Printf("\ntrace:\n%s", tr)
 		return nil
 	}
-	res, err := w.Query(fs.Arg(0))
+	res, err := w.QueryAt(q, at)
 	if err != nil {
 		return err
 	}

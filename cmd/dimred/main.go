@@ -45,6 +45,8 @@ func main() {
 		err = runLoad(os.Args[2:])
 	case "query":
 		err = runQuery(os.Args[2:])
+	case "stats":
+		err = runStats(os.Args[2:])
 	case "explain":
 		err = runExplain(os.Args[2:])
 	case "-h", "--help", "help":
@@ -69,6 +71,7 @@ commands:
   simulate   run a synthetic click-stream under a specification
   load       ingest a click CSV and write a warehouse snapshot
   query      evaluate a query against a snapshot
+  stats      report a snapshot's storage state and engine metrics
   explain    report why a cell is aggregated the way it is`)
 }
 
@@ -178,6 +181,7 @@ func runSimulate(args []string) error {
 	rate := fs.Int("rate", 200, "clicks per day")
 	seed := fs.Int64("seed", 1, "generator seed")
 	start := fs.String("start", "2000/1/1", "first day")
+	metrics := fs.Bool("metrics", false, "print the engine metrics after the run")
 	var ats actionList
 	fs.Var(&ats, "at", "report storage as of this day (repeatable)")
 	if err := fs.Parse(args); err != nil {
@@ -228,6 +232,9 @@ func runSimulate(args []string) error {
 			return err
 		}
 		fmt.Printf("as of %s:\n%s\n", at, w.Stats())
+	}
+	if *metrics {
+		fmt.Printf("metrics:\n%s", w.Metrics())
 	}
 	return nil
 }

@@ -1,0 +1,33 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dimred/internal/warehouse"
+)
+
+// runStats reports a snapshot's storage state and engine metrics:
+//
+//	dimred stats -snapshot wh.snapshot
+func runStats(args []string) error {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	snapPath := fs.String("snapshot", "warehouse.snapshot", "snapshot to inspect")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	f, err := os.Open(*snapPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w, _, err := warehouse.Load(f)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("clock: %s\n\n", w.Now())
+	fmt.Print(w.Stats())
+	fmt.Printf("\nmetrics:\n%s", w.Metrics())
+	return nil
+}

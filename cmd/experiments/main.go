@@ -1,5 +1,5 @@
 // Command experiments regenerates every table and figure of the paper
-// (E01-E16) and measures its quantitative claims (S1-S5). Run with no
+// (E01-E16) and measures its quantitative claims (S1-S6). Run with no
 // flags for everything, -list to enumerate, or -exp E06 for one.
 //
 // The paper has no empirical evaluation section; its artifacts are the
@@ -44,6 +44,7 @@ var experiments = []experiment{
 	{"S3", "Claim: per-subcube parallel query evaluation", runS3},
 	{"S4", "Claim: bulk-load synchronization is not a bottleneck", runS4},
 	{"S5", "Subcube engine == Definition 2 semantics", runS5},
+	{"S6", "Observability: metrics snapshot + query trace", runS6},
 }
 
 func main() {

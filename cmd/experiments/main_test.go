@@ -32,6 +32,7 @@ func TestAllExperimentsRun(t *testing.T) {
 		"S3":  {"parallel goroutines"},
 		"S4":  {"facts/sec"},
 		"S5":  {"5/5 time points agree"},
+		"S6":  {"metrics snapshot", "rows folded", "cubes pruned"},
 	}
 	for _, e := range experiments {
 		e := e

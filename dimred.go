@@ -28,6 +28,7 @@ import (
 	"dimred/internal/core"
 	"dimred/internal/dims"
 	"dimred/internal/mdm"
+	"dimred/internal/obs"
 	"dimred/internal/query"
 	"dimred/internal/spec"
 	"dimred/internal/subcube"
@@ -237,6 +238,18 @@ type (
 	Warehouse = warehouse.Warehouse
 	// WarehouseStats reports storage state.
 	WarehouseStats = warehouse.Stats
+	// Metrics is a point-in-time snapshot of the engine's observability
+	// counters, gauges and latency histograms (Warehouse.Metrics).
+	Metrics = obs.MetricsSnapshot
+	// QueryTrace is a per-query execution trace: subcubes consulted or
+	// pruned, rows scanned versus kept, per-stage durations
+	// (Warehouse.QueryTraced).
+	QueryTrace = obs.Trace
+	// CubeQueryTrace is one subcube's entry in a QueryTrace.
+	CubeQueryTrace = obs.CubeTrace
+	// LatencySnapshot summarizes one latency histogram (count, mean,
+	// bucket-bounded p50/p95/p99, max).
+	LatencySnapshot = obs.HistogramSnapshot
 )
 
 // NewCubeSet builds the subcube layout for a specification.

@@ -1,0 +1,187 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Metrics is the engine-wide metric set, shared by the warehouse
+// facade, the scheduler and the subcube engine. One instance is created
+// per CubeSet and survives specification rebuilds, so counters are
+// cumulative over the warehouse's lifetime. All fields are safe for
+// concurrent use.
+type Metrics struct {
+	// Load path.
+	FactsLoaded  Counter // user facts ingested via Load/LoadBatch
+	BatchLoads   Counter // LoadBatch calls
+	RowsAppended Counter // physical rows appended to any cube store
+	RowsMerged   Counter // in-place cell merges (row already present)
+
+	// Clock and synchronization.
+	Advances      Counter   // clock advances
+	Syncs         Counter   // synchronization rounds
+	SyncSkips     Counter   // cubes skipped by the zone-map untouched check
+	SyncScanned   Counter   // rows visited by sync mover scans
+	RowsFolded    Counter   // rows migrated to a coarser subcube or deleted
+	FactsDeleted  Counter   // user facts physically removed by delete actions
+	Compactions   Counter   // store compactions reclaiming tombstones
+	SpecRebuilds  Counter   // ApplySpec layout rebuilds
+	SyncDuration  Histogram // wall time per synchronization round
+	QueryDuration Histogram // wall time per cube-set query evaluation
+
+	// Query path.
+	Queries        Counter // cube-set evaluations
+	CubesConsulted Counter // subcubes scanned by queries
+	CubesPruned    Counter // subcubes skipped by the zone map
+	RowsScanned    Counter // rows visited by query scans
+	RowsSelected   Counter // scanned rows surviving the predicate
+
+	// Storage gauges, refreshed on snapshot.
+	LiveRows  Gauge // live rows across all cubes
+	LiveBytes Gauge // modeled fact bytes across all cubes
+	DeadRows  Gauge // tombstoned rows awaiting compaction
+	DimBytes  Gauge // modeled dimension-table bytes
+	CubeCount Gauge // physical subcubes in the layout
+}
+
+// NewMetrics creates an empty metric set.
+func NewMetrics() *Metrics { return &Metrics{} }
+
+// MetricsSnapshot is a point-in-time copy of every metric, safe to
+// retain and compare (e.g. before/after a bench run).
+type MetricsSnapshot struct {
+	FactsLoaded  int64
+	BatchLoads   int64
+	RowsAppended int64
+	RowsMerged   int64
+
+	Advances     int64
+	Syncs        int64
+	SyncSkips    int64
+	SyncScanned  int64
+	RowsFolded   int64
+	FactsDeleted int64
+	Compactions  int64
+	SpecRebuilds int64
+
+	Queries        int64
+	CubesConsulted int64
+	CubesPruned    int64
+	RowsScanned    int64
+	RowsSelected   int64
+
+	SyncDuration  HistogramSnapshot
+	QueryDuration HistogramSnapshot
+
+	LiveRows  int64
+	LiveBytes int64
+	DeadRows  int64
+	DimBytes  int64
+	CubeCount int64
+}
+
+// Snapshot copies the current values.
+func (m *Metrics) Snapshot() MetricsSnapshot {
+	return MetricsSnapshot{
+		FactsLoaded:  m.FactsLoaded.Load(),
+		BatchLoads:   m.BatchLoads.Load(),
+		RowsAppended: m.RowsAppended.Load(),
+		RowsMerged:   m.RowsMerged.Load(),
+
+		Advances:     m.Advances.Load(),
+		Syncs:        m.Syncs.Load(),
+		SyncSkips:    m.SyncSkips.Load(),
+		SyncScanned:  m.SyncScanned.Load(),
+		RowsFolded:   m.RowsFolded.Load(),
+		FactsDeleted: m.FactsDeleted.Load(),
+		Compactions:  m.Compactions.Load(),
+		SpecRebuilds: m.SpecRebuilds.Load(),
+
+		Queries:        m.Queries.Load(),
+		CubesConsulted: m.CubesConsulted.Load(),
+		CubesPruned:    m.CubesPruned.Load(),
+		RowsScanned:    m.RowsScanned.Load(),
+		RowsSelected:   m.RowsSelected.Load(),
+
+		SyncDuration:  m.SyncDuration.Snapshot(),
+		QueryDuration: m.QueryDuration.Snapshot(),
+
+		LiveRows:  m.LiveRows.Load(),
+		LiveBytes: m.LiveBytes.Load(),
+		DeadRows:  m.DeadRows.Load(),
+		DimBytes:  m.DimBytes.Load(),
+		CubeCount: m.CubeCount.Load(),
+	}
+}
+
+// Sub returns the delta snapshot s - prev, counter by counter; the
+// histogram and gauge fields keep s's values (deltas of latency
+// distributions and instantaneous gauges are not meaningful).
+func (s MetricsSnapshot) Sub(prev MetricsSnapshot) MetricsSnapshot {
+	d := s
+	d.FactsLoaded -= prev.FactsLoaded
+	d.BatchLoads -= prev.BatchLoads
+	d.RowsAppended -= prev.RowsAppended
+	d.RowsMerged -= prev.RowsMerged
+	d.Advances -= prev.Advances
+	d.Syncs -= prev.Syncs
+	d.SyncSkips -= prev.SyncSkips
+	d.SyncScanned -= prev.SyncScanned
+	d.RowsFolded -= prev.RowsFolded
+	d.FactsDeleted -= prev.FactsDeleted
+	d.Compactions -= prev.Compactions
+	d.SpecRebuilds -= prev.SpecRebuilds
+	d.Queries -= prev.Queries
+	d.CubesConsulted -= prev.CubesConsulted
+	d.CubesPruned -= prev.CubesPruned
+	d.RowsScanned -= prev.RowsScanned
+	d.RowsSelected -= prev.RowsSelected
+	return d
+}
+
+// String renders the snapshot as a human-readable report, grouped the
+// way the engine works: ingest, synchronization, queries, storage.
+func (s MetricsSnapshot) String() string {
+	var b strings.Builder
+	b.WriteString("ingest:\n")
+	row(&b, "facts loaded", s.FactsLoaded)
+	row(&b, "batch loads", s.BatchLoads)
+	row(&b, "rows appended", s.RowsAppended)
+	row(&b, "rows merged in place", s.RowsMerged)
+
+	b.WriteString("synchronization:\n")
+	row(&b, "clock advances", s.Advances)
+	row(&b, "sync rounds", s.Syncs)
+	row(&b, "cubes skipped (zone map)", s.SyncSkips)
+	row(&b, "rows scanned", s.SyncScanned)
+	row(&b, "rows folded", s.RowsFolded)
+	row(&b, "facts deleted", s.FactsDeleted)
+	row(&b, "compactions", s.Compactions)
+	row(&b, "spec rebuilds", s.SpecRebuilds)
+	padLabel(&b, "sync latency")
+	b.WriteString(s.SyncDuration.String())
+	b.WriteByte('\n')
+
+	b.WriteString("queries:\n")
+	row(&b, "queries", s.Queries)
+	row(&b, "cubes consulted", s.CubesConsulted)
+	row(&b, "cubes pruned (zone map)", s.CubesPruned)
+	row(&b, "rows scanned", s.RowsScanned)
+	row(&b, "rows selected", s.RowsSelected)
+	padLabel(&b, "query latency")
+	b.WriteString(s.QueryDuration.String())
+	b.WriteByte('\n')
+
+	b.WriteString("storage:\n")
+	row(&b, "subcubes", s.CubeCount)
+	row(&b, "live rows", s.LiveRows)
+	row(&b, "dead rows", s.DeadRows)
+	row(&b, "fact bytes", s.LiveBytes)
+	row(&b, "dimension bytes", s.DimBytes)
+	return b.String()
+}
+
+func row(b *strings.Builder, label string, v int64) {
+	padLabel(b, label)
+	fmt.Fprintf(b, "%d\n", v)
+}

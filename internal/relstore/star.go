@@ -101,6 +101,18 @@ func BuildStar(mo *mdm.MO) (*Star, error) {
 	return star, nil
 }
 
+// Bytes models the star schema's total storage: the fact table plus
+// every dimension table, under the Table cost model. FactBytes and
+// DimBytes split the total the way the paper's storage claim does
+// (facts dominate warehouse storage).
+func (s *Star) Bytes() (total, factBytes, dimBytes int64) {
+	factBytes = s.Fact.Bytes()
+	for _, d := range s.Dims {
+		dimBytes += d.Bytes()
+	}
+	return factBytes + dimBytes, factBytes, dimBytes
+}
+
 // GroupRow is one result row of a star aggregation: the group-by column
 // values joined from the dimension tables, plus aggregated measures.
 type GroupRow struct {

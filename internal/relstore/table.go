@@ -106,6 +106,25 @@ func (t *Table) ColumnIndex(name string) int {
 // Rows returns the row count.
 func (t *Table) Rows() int { return t.rows }
 
+// Bytes models the table's relational storage footprint, surfaced by
+// the observability layer: 8 bytes per BIGINT or DOUBLE cell, string
+// length per VARCHAR cell, plus 8 bytes of per-row metadata — the same
+// cost model internal/storage applies to fact rows.
+func (t *Table) Bytes() int64 {
+	var total int64 = int64(t.rows) * 8
+	for i, c := range t.cols {
+		switch c.Kind {
+		case KindInt64, KindFloat64:
+			total += int64(t.rows) * 8
+		case KindString:
+			for _, s := range t.strs[i] {
+				total += int64(len(s))
+			}
+		}
+	}
+	return total
+}
+
 // Insert adds a row; values must match the column kinds (int64, float64
 // or string). Primary-key duplicates are rejected.
 func (t *Table) Insert(vals ...interface{}) error {

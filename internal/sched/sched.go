@@ -8,6 +8,8 @@
 package sched
 
 import (
+	"time"
+
 	"dimred/internal/caltime"
 	"dimred/internal/spec"
 	"dimred/internal/subcube"
@@ -103,10 +105,14 @@ func (s *Scheduler) Restore(now caltime.Day, synced bool) {
 }
 
 func (s *Scheduler) syncNow() error {
+	met := s.cubes.Metrics()
+	start := time.Now()
 	moved, err := s.cubes.Sync(s.now)
 	if err != nil {
 		return err
 	}
+	met.Syncs.Inc()
+	met.SyncDuration.Observe(time.Since(start))
 	s.Syncs++
 	s.Moved += moved
 	s.synced = true

@@ -100,8 +100,33 @@ func (s *Store) Rows() int { return len(s.base) }
 // Live returns the number of live rows.
 func (s *Store) Live() int { return len(s.base) - s.nDead }
 
+// Dead returns the number of tombstoned rows awaiting compaction.
+func (s *Store) Dead() int { return s.nDead }
+
 // Bytes returns the modeled size of the live data.
 func (s *Store) Bytes() int64 { return int64(s.Live()) * s.layout.RowBytes() }
+
+// Stats is a point-in-time accounting of one store, surfaced by the
+// observability layer: live and dead row counts, modeled live bytes,
+// and the bytes held by tombstones until the next compaction.
+type Stats struct {
+	Rows      int   // total slots, dead or alive
+	Live      int   // live rows
+	Dead      int   // tombstoned rows
+	Bytes     int64 // modeled size of the live data
+	DeadBytes int64 // modeled size pinned by tombstones
+}
+
+// Stats reports the store's current accounting.
+func (s *Store) Stats() Stats {
+	return Stats{
+		Rows:      len(s.base),
+		Live:      s.Live(),
+		Dead:      s.nDead,
+		Bytes:     s.Bytes(),
+		DeadBytes: int64(s.nDead) * s.layout.RowBytes(),
+	}
+}
 
 // Ref returns dimension column i of row r.
 func (s *Store) Ref(r RowID, i int) mdm.ValueID { return s.refs[i][r] }

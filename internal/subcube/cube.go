@@ -18,6 +18,7 @@ import (
 
 	"dimred/internal/caltime"
 	"dimred/internal/mdm"
+	"dimred/internal/obs"
 	"dimred/internal/spec"
 	"dimred/internal/storage"
 )
@@ -66,6 +67,9 @@ func (c *Cube) Parents() []*Cube { return c.parents }
 // Rows returns the number of live rows.
 func (c *Cube) Rows() int { return c.store.Live() }
 
+// Dead returns the number of tombstoned rows awaiting compaction.
+func (c *Cube) Dead() int { return c.store.Dead() }
+
 // Bytes returns the modeled storage size of the cube's live rows.
 func (c *Cube) Bytes() int64 { return c.store.Bytes() }
 
@@ -81,7 +85,14 @@ type CubeSet struct {
 	// deletedBase counts user facts physically removed by deletion
 	// actions.
 	deletedBase int64
+	// met is the engine metric set; it survives ApplySpec rebuilds so
+	// counters are cumulative over the cube set's lifetime.
+	met *obs.Metrics
 }
+
+// Metrics returns the cube set's metric set; the scheduler and the
+// warehouse facade record into the same instance.
+func (cs *CubeSet) Metrics() *obs.Metrics { return cs.met }
 
 // New builds the subcube layout for a specification: one cube per
 // distinct action target granularity, plus the bottom cube (which
@@ -89,7 +100,7 @@ type CubeSet struct {
 // 7.1 example).
 func New(sp *spec.Spec) (*CubeSet, error) {
 	env := sp.Env()
-	cs := &CubeSet{sp: sp, env: env, byGran: make(map[string]*Cube)}
+	cs := &CubeSet{sp: sp, env: env, byGran: make(map[string]*Cube), met: obs.NewMetrics()}
 	layout := storage.Layout{DimCols: env.Schema.NumDims(), MeasCols: len(env.Schema.Measures)}
 
 	bottom := &Cube{id: 0, gran: env.Schema.BottomGranularity(), store: storage.New(layout), index: make(map[string]storage.RowID)}
@@ -221,6 +232,7 @@ func (cs *CubeSet) mergeInto(c *Cube, refs []mdm.ValueID, meas []float64, base i
 			c.store.SetMeasure(r, j, m.Agg.Merge(c.store.Measure(r, j), meas[j]))
 		}
 		c.store.AddBase(r, base)
+		cs.met.RowsMerged.Inc()
 		return nil
 	}
 	r, err := c.store.Append(refs, meas, base)
@@ -228,6 +240,7 @@ func (cs *CubeSet) mergeInto(c *Cube, refs []mdm.ValueID, meas []float64, base i
 		return fmt.Errorf("subcube: %w", err)
 	}
 	c.index[key] = r
+	cs.met.RowsAppended.Inc()
 	return nil
 }
 
@@ -292,11 +305,14 @@ func (cs *CubeSet) Sync(t caltime.Day) (int, error) {
 	schema := cs.env.Schema
 	moved := 0
 
-	// Phase 1 (parallel): collect the movers per cube.
+	// Phase 1 (parallel): collect the movers per cube. Each goroutine
+	// accumulates its scan count locally and publishes one atomic add,
+	// keeping the instrumented path race-clean and allocation-free.
 	movers := make([][]storage.RowID, len(cs.cubes))
 	var wg sync.WaitGroup
 	for ci, c := range cs.cubes {
 		if cs.cubeUntouchedAt(c, t) {
+			cs.met.SyncSkips.Inc()
 			continue // no action can select any of the cube's rows at t
 		}
 		wg.Add(1)
@@ -304,7 +320,9 @@ func (cs *CubeSet) Sync(t caltime.Day) (int, error) {
 			defer wg.Done()
 			cell := make([]mdm.ValueID, schema.NumDims())
 			var migrate []storage.RowID
+			scanned := 0
 			c.store.Scan(func(r storage.RowID) bool {
+				scanned++
 				c.store.Refs(r, cell)
 				if cs.sp.DeletedBy(cell, t) != nil {
 					migrate = append(migrate, r)
@@ -317,6 +335,7 @@ func (cs *CubeSet) Sync(t caltime.Day) (int, error) {
 				return true
 			})
 			movers[ci] = migrate
+			cs.met.SyncScanned.Add(int64(scanned))
 		}(ci, c)
 	}
 	wg.Wait()
@@ -328,6 +347,7 @@ func (cs *CubeSet) Sync(t caltime.Day) (int, error) {
 			c.store.Refs(r, cell)
 			if cs.sp.DeletedBy(cell, t) != nil {
 				cs.deletedBase += c.store.Base(r)
+				cs.met.FactsDeleted.Add(c.store.Base(r))
 				_, key := cellKey(nil, cell)
 				delete(c.index, key)
 				c.store.Delete(r)
@@ -365,10 +385,12 @@ func (cs *CubeSet) Sync(t caltime.Day) (int, error) {
 		}
 	}
 	cs.lastSync, cs.synced = t, true
+	cs.met.RowsFolded.Add(int64(moved))
 	return moved, nil
 }
 
 func (cs *CubeSet) compact(c *Cube) {
+	cs.met.Compactions.Inc()
 	remap := c.store.Compact()
 	for key, r := range c.index {
 		nr := remap[r]
@@ -393,6 +415,10 @@ func (cs *CubeSet) ApplySpec(sp *spec.Spec, t caltime.Day) error {
 	if err != nil {
 		return err
 	}
+	// The rebuilt set records into the same metric instance, so ingest
+	// and fold counters stay cumulative across specification changes.
+	next.met = cs.met
+	cs.met.SpecRebuilds.Inc()
 	schema := cs.env.Schema
 	cell := make([]mdm.ValueID, schema.NumDims())
 	for _, c := range old {

@@ -3,10 +3,12 @@ package subcube
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"dimred/internal/caltime"
 	"dimred/internal/expr"
 	"dimred/internal/mdm"
+	"dimred/internal/obs"
 	"dimred/internal/query"
 	"dimred/internal/spec"
 	"dimred/internal/storage"
@@ -68,10 +70,29 @@ func MustParseQuery(src string, env *spec.Env) Query {
 // rolled up to G_i. The disjoint subresults are then combined by one
 // final distributive aggregation to the query's target granularity.
 func (cs *CubeSet) Evaluate(q Query, t caltime.Day) (*mdm.MO, error) {
+	return cs.EvaluateTraced(q, t, nil)
+}
+
+// EvaluateTraced runs the query like Evaluate and additionally fills tr
+// (when non-nil) with which subcubes were consulted or zone-map-pruned,
+// rows scanned versus kept per cube, and per-stage durations. Each
+// parallel goroutine writes only its own pre-sized trace entry and
+// publishes engine counters with single atomic adds, so tracing adds no
+// locks to the scan path.
+func (cs *CubeSet) EvaluateTraced(q Query, t caltime.Day, tr *obs.Trace) (*mdm.MO, error) {
 	if len(q.Target) != cs.env.Schema.NumDims() {
 		return nil, fmt.Errorf("subcube: Evaluate: target granularity needs %d categories", cs.env.Schema.NumDims())
 	}
+	start := time.Now()
 	synced := cs.synced && cs.lastSync == t
+	cs.met.Queries.Inc()
+	if tr != nil {
+		tr.Synced = synced
+		tr.Cubes = make([]obs.CubeTrace, len(cs.cubes))
+		for i, c := range cs.cubes {
+			tr.Cubes[i] = obs.CubeTrace{Cube: c.id, Granularity: cs.env.Schema.GranString(c.gran)}
+		}
+	}
 
 	// Zone-map pruning: a cube whose day-range hull cannot intersect the
 	// predicate's time bounds contributes nothing (sound for every
@@ -90,23 +111,42 @@ func (cs *CubeSet) Evaluate(q Query, t caltime.Day) (*mdm.MO, error) {
 	for i, c := range cs.cubes {
 		if pruneByTime {
 			if lo, hi, ok := c.DayRange(); ok && (hi < predLo || lo > predHi) {
+				cs.met.CubesPruned.Inc()
+				if tr != nil {
+					tr.Cubes[i].Pruned = true
+				}
 				continue // the cube cannot contribute
 			}
 		}
+		cs.met.CubesConsulted.Inc()
 		wg.Add(1)
 		go func(i int, c *Cube) {
 			defer wg.Done()
+			cubeStart := time.Now()
 			var mo *mdm.MO
 			var err error
+			scanned, kept := 0, 0
 			if synced {
 				// Fast path: evaluate the predicate during the cube scan
 				// and materialize only the selected rows.
-				mo, err = cs.selectedMO(c, q, t)
+				mo, scanned, kept, err = cs.selectedMO(c, q, t)
 			} else {
-				mo, err = cs.viewOf(c, t)
+				mo, scanned, err = cs.viewOf(c, t)
 				if err == nil && q.Pred != nil {
 					mo, err = query.Select(mo, q.Pred, t, q.Sel)
 				}
+				if err == nil {
+					kept = mo.Len()
+				}
+			}
+			cs.met.RowsScanned.Add(int64(scanned))
+			cs.met.RowsSelected.Add(int64(kept))
+			if tr != nil {
+				e := &tr.Cubes[i]
+				e.FastPath = synced
+				e.RowsScanned = scanned
+				e.RowsKept = kept
+				e.Duration = time.Since(cubeStart)
 			}
 			if err != nil {
 				errs[i] = err
@@ -116,6 +156,10 @@ func (cs *CubeSet) Evaluate(q Query, t caltime.Day) (*mdm.MO, error) {
 		}(i, c)
 	}
 	wg.Wait()
+	scanDone := time.Now()
+	if tr != nil {
+		tr.AddStage("parallel subcube scan", scanDone.Sub(start))
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
@@ -138,15 +182,26 @@ func (cs *CubeSet) Evaluate(q Query, t caltime.Day) (*mdm.MO, error) {
 			}
 		}
 	}
-	return query.Aggregate(union, q.Target, q.Agg)
+	out, err := query.Aggregate(union, q.Target, q.Agg)
+	cs.met.QueryDuration.Observe(time.Since(start))
+	if tr != nil {
+		tr.AddStage("combine + final aggregate", time.Since(scanDone))
+		tr.Total = time.Since(start)
+		if err == nil {
+			tr.ResultCells = out.Len()
+		}
+	}
+	return out, err
 }
 
 // selectedMO materializes the rows of cube c that satisfy the query's
 // predicate (under its selection approach) as an MO, evaluating the
-// predicate against storage rows directly.
-func (cs *CubeSet) selectedMO(c *Cube, q Query, t caltime.Day) (*mdm.MO, error) {
+// predicate against storage rows directly. It also reports how many
+// rows the scan visited and how many survived the predicate, for the
+// observability layer.
+func (cs *CubeSet) selectedMO(c *Cube, q Query, t caltime.Day) (mo *mdm.MO, scanned, kept int, err error) {
 	schema := cs.env.Schema
-	mo := mdm.NewMO(schema)
+	mo = mdm.NewMO(schema)
 	mo.SetFloors(c.gran)
 	refs := make([]mdm.ValueID, schema.NumDims())
 	meas := make([]float64, len(schema.Measures))
@@ -156,6 +211,7 @@ func (cs *CubeSet) selectedMO(c *Cube, q Query, t caltime.Day) (*mdm.MO, error) 
 	}
 	var failed error
 	c.store.Scan(func(r storage.RowID) bool {
+		scanned++
 		c.store.Refs(r, refs)
 		if prep != nil {
 			cons, lib, _ := prep.EvaluateCell(query.Cell(refs))
@@ -167,6 +223,7 @@ func (cs *CubeSet) selectedMO(c *Cube, q Query, t caltime.Day) (*mdm.MO, error) 
 				return true
 			}
 		}
+		kept++
 		for j := range meas {
 			meas[j] = c.store.Measure(r, j)
 		}
@@ -176,15 +233,16 @@ func (cs *CubeSet) selectedMO(c *Cube, q Query, t caltime.Day) (*mdm.MO, error) 
 		}
 		return true
 	})
-	return mo, failed
+	return mo, scanned, kept, failed
 }
 
 // viewOf builds the synchronized view of cube c at time t from c and its
 // parent cubes: the rows whose current aggregation level equals c's
-// granularity, rolled up to it and merged by cell.
-func (cs *CubeSet) viewOf(c *Cube, t caltime.Day) (*mdm.MO, error) {
+// granularity, rolled up to it and merged by cell. scanned reports the
+// rows visited across the cube and its parents.
+func (cs *CubeSet) viewOf(c *Cube, t caltime.Day) (mo *mdm.MO, scanned int, err error) {
 	schema := cs.env.Schema
-	mo := mdm.NewMO(schema)
+	mo = mdm.NewMO(schema)
 	mo.SetFloors(c.gran)
 	index := make(map[string]mdm.FactID)
 
@@ -194,6 +252,7 @@ func (cs *CubeSet) viewOf(c *Cube, t caltime.Day) (*mdm.MO, error) {
 	for _, src := range sources {
 		var failed error
 		src.store.Scan(func(r storage.RowID) bool {
+			scanned++
 			src.store.Refs(r, cell)
 			if cs.sp.DeletedBy(cell, t) != nil {
 				return true // already past its deletion time
@@ -234,8 +293,8 @@ func (cs *CubeSet) viewOf(c *Cube, t caltime.Day) (*mdm.MO, error) {
 			return true
 		})
 		if failed != nil {
-			return nil, failed
+			return nil, 0, failed
 		}
 	}
-	return mo, nil
+	return mo, scanned, nil
 }

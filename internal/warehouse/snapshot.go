@@ -226,6 +226,10 @@ func Load(in io.Reader) (*Warehouse, *LoadedDims, error) {
 		}
 	}
 	w.loaded = sf.Loaded
+	// Seed the cumulative metrics from the snapshot's bookkeeping so
+	// Metrics() agrees with Stats() after a restore.
+	w.met.FactsLoaded.Add(sf.Loaded)
+	w.met.FactsDeleted.Add(sf.Deleted)
 	w.cubes.RestoreSyncState(caltime.Day(sf.LastSync), sf.Synced, sf.Deleted)
 	w.sched.Restore(caltime.Day(sf.Now), sf.Synced)
 	return w, loaded, nil

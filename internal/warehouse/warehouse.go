@@ -13,6 +13,7 @@ import (
 
 	"dimred/internal/caltime"
 	"dimred/internal/mdm"
+	"dimred/internal/obs"
 	"dimred/internal/query"
 	"dimred/internal/relstore"
 	"dimred/internal/sched"
@@ -32,6 +33,9 @@ type Warehouse struct {
 	sp    *spec.Spec
 	cubes *subcube.CubeSet
 	sched *sched.Scheduler
+	// met is the engine metric set, shared with the cube set and the
+	// scheduler so every layer records into one instance.
+	met *obs.Metrics
 	// loaded counts user facts ever loaded.
 	loaded int64
 }
@@ -48,7 +52,7 @@ func Open(env *spec.Env, actions ...*spec.Action) (*Warehouse, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Warehouse{env: env, sp: sp, cubes: cs, sched: sched.New(cs)}, nil
+	return &Warehouse{env: env, sp: sp, cubes: cs, sched: sched.New(cs), met: cs.Metrics()}, nil
 }
 
 // Env returns the schema environment.
@@ -72,6 +76,7 @@ func (w *Warehouse) Now() caltime.Day {
 func (w *Warehouse) AdvanceTo(t caltime.Day) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	w.met.Advances.Inc()
 	_, err := w.sched.AdvanceTo(t)
 	return err
 }
@@ -88,6 +93,7 @@ func (w *Warehouse) loadLocked(refs []mdm.ValueID, meas []float64) error {
 		return err
 	}
 	w.loaded++
+	w.met.FactsLoaded.Inc()
 	return nil
 }
 
@@ -96,6 +102,7 @@ func (w *Warehouse) loadLocked(refs []mdm.ValueID, meas []float64) error {
 func (w *Warehouse) LoadBatch(rows func(load func(refs []mdm.ValueID, meas []float64) error) error) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	w.met.BatchLoads.Inc()
 	if err := rows(w.loadLocked); err != nil {
 		return err
 	}
@@ -133,6 +140,36 @@ func (w *Warehouse) QueryAt(q subcube.Query, t caltime.Day) (*mdm.MO, error) {
 	w.mu.RLock()
 	defer w.mu.RUnlock()
 	return w.cubes.Evaluate(q, t)
+}
+
+// QueryTraced evaluates a query like Query and additionally returns an
+// execution trace: which subcubes were consulted or zone-map-pruned,
+// rows scanned versus kept per cube, and per-stage durations.
+func (w *Warehouse) QueryTraced(src string) (*mdm.MO, *obs.Trace, error) {
+	q, err := subcube.ParseQuery(src, w.env)
+	if err != nil {
+		return nil, nil, err
+	}
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	return w.queryTracedLocked(src, q, w.sched.Now())
+}
+
+// QueryAtTraced evaluates a prepared query at an explicit time with an
+// execution trace.
+func (w *Warehouse) QueryAtTraced(q subcube.Query, t caltime.Day) (*mdm.MO, *obs.Trace, error) {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	return w.queryTracedLocked("", q, t)
+}
+
+func (w *Warehouse) queryTracedLocked(src string, q subcube.Query, t caltime.Day) (*mdm.MO, *obs.Trace, error) {
+	tr := &obs.Trace{Query: src, At: t.String()}
+	mo, err := w.cubes.EvaluateTraced(q, t, tr)
+	if err != nil {
+		return nil, nil, err
+	}
+	return mo, tr, nil
 }
 
 // InsertActions extends the specification (Definition 3) and rebuilds
@@ -209,6 +246,7 @@ func (w *Warehouse) ExportStar() (*relstore.Star, error) {
 type CubeStat struct {
 	Granularity string
 	Rows        int
+	Dead        int // tombstoned rows awaiting compaction
 	Bytes       int64
 }
 
@@ -258,6 +296,7 @@ func (w *Warehouse) Stats() Stats {
 		st.PerCube = append(st.PerCube, CubeStat{
 			Granularity: w.env.Schema.GranString(c.Gran()),
 			Rows:        c.Rows(),
+			Dead:        c.Dead(),
 			Bytes:       c.Bytes(),
 		})
 	}
@@ -265,4 +304,31 @@ func (w *Warehouse) Stats() Stats {
 		st.DimensionBytes += storage.DimensionBytes(d)
 	}
 	return st
+}
+
+// Metrics refreshes the storage gauges and returns a point-in-time
+// snapshot of the engine metrics: ingest and fold counters, query and
+// synchronization latency histograms, and storage accounting. Counters
+// are cumulative since Open (or seeded from the snapshot after a
+// restore); snapshots may be subtracted to meter a window of work.
+func (w *Warehouse) Metrics() obs.MetricsSnapshot {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	var rows, dead int
+	var bytes int64
+	for _, c := range w.cubes.Cubes() {
+		rows += c.Rows()
+		dead += c.Dead()
+		bytes += c.Bytes()
+	}
+	var dimBytes int64
+	for _, d := range w.env.Schema.Dims {
+		dimBytes += storage.DimensionBytes(d)
+	}
+	w.met.LiveRows.Set(int64(rows))
+	w.met.DeadRows.Set(int64(dead))
+	w.met.LiveBytes.Set(bytes)
+	w.met.DimBytes.Set(dimBytes)
+	w.met.CubeCount.Set(int64(len(w.cubes.Cubes())))
+	return w.met.Snapshot()
 }
