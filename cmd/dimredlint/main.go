@@ -1,0 +1,84 @@
+// Command dimredlint is the repository's multichecker: it runs the
+// domain-invariant analyzers of internal/lint (wallclock, atomicfield,
+// invariantcall, errwrap) together with stdlib reimplementations of
+// the x/tools nilness and shadow passes over the module, and exits
+// non-zero when any finding survives //dimred:allow suppression.
+//
+// Usage:
+//
+//	dimredlint [-only a,b] [-list] [packages...]
+//
+// Packages default to ./... relative to the current directory. Exit
+// status: 0 clean, 1 findings, 2 usage or load failure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"dimred/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("dimredlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
+	list := fs.Bool("list", false, "list the bundled analyzers and exit")
+	dir := fs.String("C", ".", "directory to run in (the module to analyze)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	analyzers := lint.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(stdout, "%-14s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	if *only != "" {
+		byName := map[string]*lint.Analyzer{}
+		for _, a := range analyzers {
+			byName[a.Name] = a
+		}
+		analyzers = analyzers[:0]
+		for _, name := range strings.Split(*only, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(stderr, "dimredlint: unknown analyzer %q\n", name)
+				return 2
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	units, err := lint.Load(*dir, fs.Args()...)
+	if err != nil {
+		fmt.Fprintf(stderr, "dimredlint: %v\n", err)
+		return 2
+	}
+	diags := lint.Run(units, analyzers)
+	cwd, _ := os.Getwd()
+	for _, d := range diags {
+		name := d.Pos.Filename
+		if cwd != "" {
+			if rel, err := filepath.Rel(cwd, name); err == nil && !strings.HasPrefix(rel, "..") {
+				name = rel
+			}
+		}
+		fmt.Fprintf(stdout, "%s:%d:%d: %s [%s]\n", name, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "dimredlint: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,94 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod above test working directory")
+		}
+		dir = parent
+	}
+}
+
+func TestRunCleanOnRepo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads the whole module; skipped in -short mode")
+	}
+	var out, errOut strings.Builder
+	code := run([]string{"-C", repoRoot(t), "./..."}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d on clean tree\nstdout:\n%s\nstderr:\n%s", code, out.String(), errOut.String())
+	}
+	if out.Len() != 0 {
+		t.Errorf("unexpected output on clean tree:\n%s", out.String())
+	}
+}
+
+func TestRunFindsInjectedViolation(t *testing.T) {
+	dir := t.TempDir()
+	if resolved, err := filepath.EvalSymlinks(dir); err == nil {
+		dir = resolved
+	}
+	write := func(rel, content string) {
+		t.Helper()
+		path := filepath.Join(dir, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module lintfix\n\ngo 1.24\n")
+	write("internal/core/core.go", `package core
+
+import "time"
+
+func Stamp() time.Time { return time.Now() }
+`)
+	var out, errOut strings.Builder
+	code := run([]string{"-C", dir, "./..."}, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1\nstdout:\n%s\nstderr:\n%s", code, out.String(), errOut.String())
+	}
+	if !strings.Contains(out.String(), "call to time.Now") || !strings.Contains(out.String(), "[wallclock]") {
+		t.Errorf("missing wallclock finding in output:\n%s", out.String())
+	}
+}
+
+func TestRunList(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-list"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d from -list", code)
+	}
+	for _, name := range []string{"wallclock", "atomicfield", "invariantcall", "errwrap", "nilness", "shadow"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output missing %s:\n%s", name, out.String())
+		}
+	}
+}
+
+func TestRunOnlyFilter(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-only", "nosuchpass", "./..."}, &out, &errOut); code != 2 {
+		t.Fatalf("exit %d for unknown analyzer, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "unknown analyzer") {
+		t.Errorf("stderr missing diagnostic: %s", errOut.String())
+	}
+}

@@ -1,0 +1,141 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// NewErrwrap builds the errwrap analyzer:
+//
+//   - a fmt.Errorf call whose arguments include an error but whose
+//     format string has no %w verb breaks the error chain (errors.Is /
+//     errors.As stop working) — flagged everywhere;
+//   - an expression statement that drops a function's error result is
+//     flagged in internal/ and cmd/ packages. The fmt print family and
+//     writes to strings.Builder / bytes.Buffer are exempt — print-path
+//     errors are unactionable diagnostics output, and the builders are
+//     documented to never fail; anything else needs an explicit `_ =`
+//     or a //dimred:allow.
+func NewErrwrap() *Analyzer {
+	a := &Analyzer{
+		Name: "errwrap",
+		Doc:  "fmt.Errorf must wrap errors with %w; error results must not be silently discarded",
+	}
+	a.Run = func(u *Unit) []Diagnostic {
+		var ds []Diagnostic
+		errType := types.Universe.Lookup("error").Type()
+		checkDiscard := strings.Contains(u.Path, "/internal/") || strings.Contains(u.Path, "/cmd/") ||
+			strings.HasPrefix(u.Path, "internal/") || strings.HasPrefix(u.Path, "cmd/")
+		for _, f := range u.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.CallExpr:
+					if d, bad := errorfWithoutW(u, n, errType); bad {
+						ds = append(ds, d)
+					}
+				case *ast.ExprStmt:
+					if !checkDiscard {
+						return true
+					}
+					call, ok := n.X.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					if d, bad := discardedError(u, call, errType); bad {
+						ds = append(ds, d)
+					}
+				}
+				return true
+			})
+		}
+		return ds
+	}
+	return a
+}
+
+// errorfWithoutW flags fmt.Errorf("... no %w ...", ..., err, ...).
+func errorfWithoutW(u *Unit, call *ast.CallExpr, errType types.Type) (Diagnostic, bool) {
+	fn := calleeFunc(u.Info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "fmt" || fn.Name() != "Errorf" || len(call.Args) < 2 {
+		return Diagnostic{}, false
+	}
+	lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+	if !ok {
+		return Diagnostic{}, false
+	}
+	format, err := strconv.Unquote(lit.Value)
+	if err != nil || strings.Contains(format, "%w") {
+		return Diagnostic{}, false
+	}
+	for _, arg := range call.Args[1:] {
+		t := u.Info.Types[arg].Type
+		if t != nil && types.AssignableTo(t, errType) {
+			return u.Diag(call.Pos(), "fmt.Errorf formats an error argument without %%w; the cause is lost to errors.Is/errors.As"), true
+		}
+	}
+	return Diagnostic{}, false
+}
+
+// discardedError flags a statement-position call whose final result is
+// an error, modulo the documented-infallible exemptions.
+func discardedError(u *Unit, call *ast.CallExpr, errType types.Type) (Diagnostic, bool) {
+	t := u.Info.Types[call].Type
+	if t == nil {
+		return Diagnostic{}, false
+	}
+	var last types.Type
+	switch tt := t.(type) {
+	case *types.Tuple:
+		if tt.Len() == 0 {
+			return Diagnostic{}, false
+		}
+		last = tt.At(tt.Len() - 1).Type()
+	default:
+		last = tt
+	}
+	if !types.Identical(last, errType) {
+		return Diagnostic{}, false
+	}
+	if exemptDiscard(u, call) {
+		return Diagnostic{}, false
+	}
+	return u.Diag(call.Pos(), "error result discarded; handle it, assign it to _ explicitly, or annotate //dimred:allow errwrap <reason>"), true
+}
+
+// exemptDiscard recognizes the calls whose error result is documented
+// to always be nil or is unactionable: the fmt print family (report
+// and diagnostics output) and the strings.Builder / bytes.Buffer write
+// methods.
+func exemptDiscard(u *Unit, call *ast.CallExpr) bool {
+	fn := calleeFunc(u.Info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	switch fn.Pkg().Path() {
+	case "fmt":
+		switch fn.Name() {
+		case "Print", "Printf", "Println", "Fprint", "Fprintf", "Fprintln":
+			return true
+		}
+	case "strings", "bytes":
+		recv := fn.Type().(*types.Signature).Recv()
+		if recv == nil {
+			return false
+		}
+		name := derefNamedName(recv.Type())
+		return name == "Builder" || name == "Buffer"
+	}
+	return false
+}
+
+func derefNamedName(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return ""
+}

@@ -1,0 +1,183 @@
+// Package lint is the repository's domain-invariant static-analysis
+// suite. It mirrors the golang.org/x/tools go/analysis architecture —
+// analyzers receive a type-checked package and report position-tagged
+// diagnostics — but is built entirely on the standard library's go/ast
+// and go/types (the module carries no external dependencies, so the
+// x/tools framework itself is off the table).
+//
+// The custom analyzers encode invariants of the reproduced paper that
+// the compiler cannot check on its own:
+//
+//   - wallclock: NOW-relative semantics (Section 4.2) require every
+//     semantic evaluation to take an explicit evaluation time, so the
+//     ambient clock (time.Now and friends) is forbidden in semantic
+//     packages; the obs.Clock seam is the only sanctioned source.
+//   - atomicfield: the obs metric substrate is read concurrently from
+//     scan paths, so a field accessed through sync/atomic anywhere
+//     must be accessed atomically everywhere.
+//   - invariantcall: every exported mutation of a specification's
+//     action set must discharge the NonCrossing (Section 5.2) and
+//     Growing (Section 5.3, Eq. 23) obligations.
+//   - errwrap: error chains must stay inspectable (%w, no silently
+//     discarded error results in internal/ and cmd/).
+//
+// Findings can be suppressed in source with a comment on the offending
+// line or the line directly above it:
+//
+//	//dimred:allow <analyzer> <reason>
+//
+// The reason is mandatory; a bare allow comment suppresses nothing.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding: a position, the analyzer that produced it
+// and a human-readable message.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s [%s]", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
+}
+
+// Analyzer is one static-analysis pass. Exactly one of Run (invoked
+// once per package) or RunModule (invoked once with every loaded
+// package, for cross-package invariants) is set.
+type Analyzer struct {
+	Name string
+	Doc  string
+	// Run analyzes a single package.
+	Run func(u *Unit) []Diagnostic
+	// RunModule analyzes the whole loaded package set at once.
+	RunModule func(us []*Unit) []Diagnostic
+}
+
+// Run executes the analyzers over the loaded units, drops findings
+// suppressed by //dimred:allow comments, and returns the rest sorted
+// by position.
+func Run(units []*Unit, analyzers []*Analyzer) []Diagnostic {
+	allows := collectAllows(units)
+	var out []Diagnostic
+	for _, a := range analyzers {
+		var ds []Diagnostic
+		if a.RunModule != nil {
+			ds = a.RunModule(units)
+		} else {
+			for _, u := range units {
+				ds = append(ds, a.Run(u)...)
+			}
+		}
+		for i := range ds {
+			ds[i].Analyzer = a.Name
+		}
+		out = append(out, ds...)
+	}
+	kept := out[:0]
+	for _, d := range out {
+		if !allows.covers(d) {
+			kept = append(kept, d)
+		}
+	}
+	sort.Slice(kept, func(i, j int) bool {
+		a, b := kept[i], kept[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return kept
+}
+
+// allowSet records, per file and line, which analyzers an in-source
+// //dimred:allow comment silences.
+type allowSet map[string]map[int]map[string]bool
+
+const allowPrefix = "//dimred:allow "
+
+// collectAllows scans every file's comments for allow directives. A
+// directive names one analyzer and must carry a reason; it silences
+// findings on its own line and on the line below (so it can sit either
+// at the end of the offending line or on its own line above it).
+func collectAllows(units []*Unit) allowSet {
+	set := allowSet{}
+	for _, u := range units {
+		for _, f := range u.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					rest, ok := strings.CutPrefix(c.Text, allowPrefix)
+					if !ok {
+						continue
+					}
+					fields := strings.Fields(rest)
+					if len(fields) < 2 {
+						continue // a reason is mandatory
+					}
+					pos := u.Fset.Position(c.Pos())
+					byLine := set[pos.Filename]
+					if byLine == nil {
+						byLine = map[int]map[string]bool{}
+						set[pos.Filename] = byLine
+					}
+					if byLine[pos.Line] == nil {
+						byLine[pos.Line] = map[string]bool{}
+					}
+					byLine[pos.Line][fields[0]] = true
+				}
+			}
+		}
+	}
+	return set
+}
+
+func (s allowSet) covers(d Diagnostic) bool {
+	byLine := s[d.Pos.Filename]
+	if byLine == nil {
+		return false
+	}
+	return byLine[d.Pos.Line][d.Analyzer] || byLine[d.Pos.Line-1][d.Analyzer]
+}
+
+// pathMatches reports whether a package import path is, or ends with,
+// one of the given path suffixes ("internal/core" matches both
+// "dimred/internal/core" and a test module's "x/internal/core").
+func pathMatches(pkgPath string, suffixes []string) bool {
+	for _, s := range suffixes {
+		if pkgPath == s || strings.HasSuffix(pkgPath, "/"+s) {
+			return true
+		}
+	}
+	return false
+}
+
+// parentMap maps every node of the file to its syntactic parent.
+func parentMap(f *ast.File) map[ast.Node]ast.Node {
+	m := map[ast.Node]ast.Node{}
+	var stack []ast.Node
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			m[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return m
+}

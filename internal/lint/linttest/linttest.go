@@ -1,0 +1,128 @@
+// Package linttest is a self-contained stand-in for x/tools'
+// analysistest: it materializes a scratch module from in-memory file
+// contents, loads and analyzes it with internal/lint, and checks the
+// produced diagnostics against `// want "regex"` expectations embedded
+// in the sources. A line may carry several want clauses; every
+// diagnostic must match a want on its line and every want must be
+// matched by a diagnostic.
+package linttest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"dimred/internal/lint"
+)
+
+// wantRE matches one `// want "..." "..."` comment tail.
+var wantRE = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+// quotedRE extracts the individual quoted patterns of a want clause.
+var quotedRE = regexp.MustCompile(`"(?:[^"\\]|\\.)*"`)
+
+// Run writes files (path → content, relative to the module root) into
+// a fresh module, runs the analyzers over ./..., and reports any
+// mismatch between diagnostics and want expectations as test errors.
+// A go.mod declaring module "lintfix" is supplied automatically unless
+// files contains one.
+func Run(t *testing.T, analyzers []*lint.Analyzer, files map[string]string) {
+	t.Helper()
+	dir := t.TempDir()
+	// go list reports build-cache-resolved, symlink-free paths.
+	if resolved, err := filepath.EvalSymlinks(dir); err == nil {
+		dir = resolved
+	}
+	if _, ok := files["go.mod"]; !ok {
+		if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module lintfix\n\ngo 1.24\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for rel, content := range files {
+		path := filepath.Join(dir, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	units, err := lint.Load(dir, "./...")
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	diags := lint.Run(units, analyzers)
+
+	type want struct {
+		re      *regexp.Regexp
+		raw     string
+		matched bool
+	}
+	wants := map[string]map[int][]*want{} // rel file → line → clauses
+	for rel, content := range files {
+		if !strings.HasSuffix(rel, ".go") {
+			continue
+		}
+		for i, line := range strings.Split(content, "\n") {
+			m := wantRE.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			for _, q := range quotedRE.FindAllString(m[1], -1) {
+				pat, err := strconv.Unquote(q)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want pattern %s: %v", rel, i+1, q, err)
+				}
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want regexp %q: %v", rel, i+1, pat, err)
+				}
+				if wants[rel] == nil {
+					wants[rel] = map[int][]*want{}
+				}
+				wants[rel][i+1] = append(wants[rel][i+1], &want{re: re, raw: pat})
+			}
+		}
+	}
+
+	for _, d := range diags {
+		rel, err := filepath.Rel(dir, d.Pos.Filename)
+		if err != nil || strings.HasPrefix(rel, "..") {
+			t.Errorf("diagnostic outside module: %s", d)
+			continue
+		}
+		rel = filepath.ToSlash(rel)
+		matched := false
+		for _, w := range wants[rel][d.Pos.Line] {
+			if !w.matched && w.re.MatchString(d.Message) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for rel, byLine := range wants {
+		for line, ws := range byLine {
+			for _, w := range ws {
+				if !w.matched {
+					t.Errorf("%s:%d: no diagnostic matched want %q", rel, line, w.raw)
+				}
+			}
+		}
+	}
+	if t.Failed() {
+		var b strings.Builder
+		for _, d := range diags {
+			fmt.Fprintf(&b, "  %s\n", d)
+		}
+		t.Logf("all diagnostics:\n%s", b.String())
+	}
+}

@@ -1,0 +1,148 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// NewNilness builds the nilness analyzer, a dependency-free cut of
+// x/tools' SSA-based nilness pass covering its highest-signal shape:
+// inside a branch that has just established `x == nil` (or the else
+// arm of `x != nil`), any dereference of x — field selection through a
+// pointer, slice/array indexing, star deref, call of a nil function,
+// or method call on a nil interface — is a guaranteed panic.
+// The scan stops at the first reassignment of x inside the branch.
+func NewNilness() *Analyzer {
+	a := &Analyzer{
+		Name: "nilness",
+		Doc:  "flag guaranteed nil dereferences inside nil-check branches",
+	}
+	a.Run = func(u *Unit) []Diagnostic {
+		var ds []Diagnostic
+		for _, f := range u.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				ifs, ok := n.(*ast.IfStmt)
+				if !ok {
+					return true
+				}
+				id, op := nilComparison(u.Info, ifs.Cond)
+				if id == nil {
+					return true
+				}
+				obj, ok := u.Info.Uses[id].(*types.Var)
+				if !ok {
+					return true
+				}
+				var body *ast.BlockStmt
+				switch {
+				case op == token.EQL:
+					body = ifs.Body
+				case op == token.NEQ:
+					body, _ = ifs.Else.(*ast.BlockStmt)
+				}
+				if body == nil {
+					return true
+				}
+				ds = append(ds, derefsWhileNil(u, body, obj)...)
+				return true
+			})
+		}
+		return ds
+	}
+	return a
+}
+
+// nilComparison matches `x == nil`, `nil == x`, `x != nil`, `nil != x`
+// where x is a plain identifier of a nilable type.
+func nilComparison(info *types.Info, cond ast.Expr) (*ast.Ident, token.Token) {
+	bin, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+		return nil, token.ILLEGAL
+	}
+	x, y := ast.Unparen(bin.X), ast.Unparen(bin.Y)
+	if info.Types[y].IsNil() {
+		if id, ok := x.(*ast.Ident); ok {
+			return id, bin.Op
+		}
+	}
+	if info.Types[x].IsNil() {
+		if id, ok := y.(*ast.Ident); ok {
+			return id, bin.Op
+		}
+	}
+	return nil, token.ILLEGAL
+}
+
+// derefsWhileNil reports dereferences of obj within body that occur
+// before any reassignment of obj.
+func derefsWhileNil(u *Unit, body *ast.BlockStmt, obj *types.Var) []Diagnostic {
+	var ds []Diagnostic
+	reassigned := token.Pos(-1)
+	ast.Inspect(body, func(n ast.Node) bool {
+		if as, ok := n.(*ast.AssignStmt); ok {
+			for _, lhs := range as.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok && u.Info.Uses[id] == obj {
+					if reassigned < 0 || as.Pos() < reassigned {
+						reassigned = as.Pos()
+					}
+				}
+			}
+		}
+		// Taking the address of obj may repoint it through an alias;
+		// treat it like a reassignment from that point on.
+		if un, ok := n.(*ast.UnaryExpr); ok && un.Op == token.AND {
+			if id, ok := ast.Unparen(un.X).(*ast.Ident); ok && u.Info.Uses[id] == obj {
+				if reassigned < 0 || un.Pos() < reassigned {
+					reassigned = un.Pos()
+				}
+			}
+		}
+		return true
+	})
+	live := func(pos token.Pos) bool { return reassigned < 0 || pos < reassigned }
+
+	isObj := func(e ast.Expr) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		return ok && u.Info.Uses[id] == obj
+	}
+	t := obj.Type().Underlying()
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			if !isObj(n.X) || !live(n.Pos()) {
+				return true
+			}
+			switch t.(type) {
+			case *types.Pointer:
+				ds = append(ds, u.Diag(n.Pos(), "field or method access on %s, which is nil here", obj.Name()))
+			case *types.Interface:
+				if sel, ok := u.Info.Selections[n]; ok && sel.Kind() == types.MethodVal {
+					ds = append(ds, u.Diag(n.Pos(), "method call on %s, which is a nil interface here", obj.Name()))
+				}
+			}
+		case *ast.IndexExpr:
+			if !isObj(n.X) || !live(n.Pos()) {
+				return true
+			}
+			switch t.(type) {
+			case *types.Slice, *types.Pointer, *types.Array:
+				ds = append(ds, u.Diag(n.Pos(), "index of %s, which is nil here", obj.Name()))
+			}
+		case *ast.StarExpr:
+			if isObj(n.X) && live(n.Pos()) {
+				if _, ok := t.(*types.Pointer); ok {
+					ds = append(ds, u.Diag(n.Pos(), "dereference of %s, which is nil here", obj.Name()))
+				}
+			}
+		case *ast.CallExpr:
+			if isObj(n.Fun) && live(n.Pos()) {
+				if _, ok := t.(*types.Signature); ok {
+					ds = append(ds, u.Diag(n.Pos(), "call of %s, which is a nil function here", obj.Name()))
+				}
+			}
+		}
+		return true
+	})
+	return ds
+}

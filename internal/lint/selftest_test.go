@@ -1,0 +1,49 @@
+package lint_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dimred/internal/lint"
+)
+
+// moduleRoot walks up from the working directory to the go.mod root.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod found above test working directory")
+		}
+		dir = parent
+	}
+}
+
+// TestRepoIsLintClean is the suite's own gate: the full analyzer set
+// must produce zero findings on the real module. A failure here is a
+// real violation somewhere in the tree — fix it (or annotate it with a
+// reasoned //dimred:allow), don't touch this test.
+func TestRepoIsLintClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads the whole module; skipped in -short mode")
+	}
+	root := moduleRoot(t)
+	units, err := lint.Load(root, "./...")
+	if err != nil {
+		t.Fatalf("load %s: %v", root, err)
+	}
+	if len(units) == 0 {
+		t.Fatal("loaded zero packages")
+	}
+	for _, d := range lint.Run(units, lint.All()) {
+		t.Errorf("finding on clean tree: %s", d)
+	}
+}

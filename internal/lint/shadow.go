@@ -1,0 +1,102 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// NewShadow builds the shadow analyzer, a dependency-free cut of
+// x/tools' vet shadow pass. It reports a variable declaration that
+// shadows a function-local variable of identical type from an
+// enclosing scope when the shadowed variable is still referenced after
+// the shadowing declaration — the shape where an assignment to the
+// inner name silently fails to update the value the later code reads.
+// Package-level names, the blank identifier and differently typed
+// re-declarations are not reported, and neither is the name "err":
+// the `if err := f(); err != nil` and closure-local error idioms are
+// ubiquitous and benign, and that exemption is what every production
+// deployment of the x/tools pass configures anyway (its noise on err
+// is why vet does not enable shadow by default).
+func NewShadow() *Analyzer {
+	a := &Analyzer{
+		Name: "shadow",
+		Doc:  "inner declarations must not shadow a still-live outer variable of the same type",
+	}
+	a.Run = func(u *Unit) []Diagnostic {
+		// lastUse[v] is the end of the rightmost reference to v.
+		lastUse := map[*types.Var]token.Pos{}
+		grow := func(id *ast.Ident, obj types.Object) {
+			if v, ok := obj.(*types.Var); ok && id.End() > lastUse[v] {
+				lastUse[v] = id.End()
+			}
+		}
+		for id, obj := range u.Info.Uses {
+			grow(id, obj)
+		}
+		for id, obj := range u.Info.Defs {
+			if obj != nil {
+				grow(id, obj)
+			}
+		}
+
+		var ds []Diagnostic
+		pkgScope := u.Pkg.Scope()
+		check := func(id *ast.Ident) {
+			if id.Name == "_" || id.Name == "err" {
+				return
+			}
+			obj, ok := u.Info.Defs[id].(*types.Var)
+			if !ok || obj.Parent() == nil || obj.Parent().Parent() == nil {
+				return
+			}
+			_, outer := obj.Parent().Parent().LookupParent(id.Name, id.Pos())
+			ov, ok := outer.(*types.Var)
+			if !ok || ov == obj {
+				return
+			}
+			if ov.Parent() == types.Universe || ov.Parent() == pkgScope {
+				return
+			}
+			if !types.Identical(obj.Type(), ov.Type()) {
+				return // two names for two different things is deliberate
+			}
+			if lastUse[ov] <= id.End() {
+				return // the outer variable is dead past this point
+			}
+			ds = append(ds, u.Diag(id.Pos(), "declaration of %q shadows declaration at %s, and the outer variable is used afterwards",
+				id.Name, u.Fset.Position(ov.Pos())))
+		}
+		for _, f := range u.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.AssignStmt:
+					if n.Tok != token.DEFINE {
+						return true
+					}
+					for _, lhs := range n.Lhs {
+						if id, ok := lhs.(*ast.Ident); ok {
+							check(id)
+						}
+					}
+				case *ast.GenDecl:
+					if n.Tok != token.VAR {
+						return true
+					}
+					for _, spec := range n.Specs {
+						vs, ok := spec.(*ast.ValueSpec)
+						if !ok {
+							continue
+						}
+						for _, id := range vs.Names {
+							check(id)
+						}
+					}
+				}
+				return true
+			})
+		}
+		return ds
+	}
+	return a
+}

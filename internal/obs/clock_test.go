@@ -1,0 +1,47 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSystemClockMonotonicSince(t *testing.T) {
+	start := System.Now()
+	if d := System.Since(start); d < 0 {
+		t.Errorf("Since went backwards: %v", d)
+	}
+}
+
+func TestFakeClockAdvance(t *testing.T) {
+	t0 := time.Date(2000, 1, 1, 0, 0, 0, 0, time.UTC)
+	clk := NewFakeClock(t0)
+	if got := clk.Now(); !got.Equal(t0) {
+		t.Fatalf("Now = %v, want %v", got, t0)
+	}
+	clk.Advance(3 * time.Second)
+	if d := clk.Since(t0); d != 3*time.Second {
+		t.Errorf("Since = %v, want 3s", d)
+	}
+}
+
+func TestFakeClockStep(t *testing.T) {
+	t0 := time.Date(2000, 1, 1, 0, 0, 0, 0, time.UTC)
+	clk := NewFakeClock(t0)
+	clk.SetStep(time.Millisecond)
+	start := clk.Now() // returns t0, advances to t0+1ms
+	if d := clk.Since(start); d != time.Millisecond {
+		t.Errorf("Since = %v, want 1ms", d)
+	}
+}
+
+func TestMetricsClockDefaultsToSystem(t *testing.T) {
+	m := NewMetrics()
+	if m.Clock() != System {
+		t.Error("fresh metric set should use the System clock")
+	}
+	clk := NewFakeClock(time.Unix(0, 0))
+	m.SetClock(clk)
+	if m.Clock() != Clock(clk) {
+		t.Error("SetClock not honored")
+	}
+}

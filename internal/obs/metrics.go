@@ -11,6 +11,11 @@ import (
 // cumulative over the warehouse's lifetime. All fields are safe for
 // concurrent use.
 type Metrics struct {
+	// clock times the histogram-observed stages. Nil means System; set
+	// it once with SetClock before handing the metric set to concurrent
+	// users.
+	clock Clock
+
 	// Load path.
 	FactsLoaded  Counter // user facts ingested via Load/LoadBatch
 	BatchLoads   Counter // LoadBatch calls
@@ -44,8 +49,22 @@ type Metrics struct {
 	CubeCount Gauge // physical subcubes in the layout
 }
 
-// NewMetrics creates an empty metric set.
+// NewMetrics creates an empty metric set timed by the System clock.
 func NewMetrics() *Metrics { return &Metrics{} }
+
+// Clock returns the clock the engine must use to time the stages this
+// metric set observes.
+func (m *Metrics) Clock() Clock {
+	if m.clock == nil {
+		return System
+	}
+	return m.clock
+}
+
+// SetClock substitutes the timing source (a FakeClock in tests). Call
+// it before the metric set is shared with concurrent users; the field
+// is read without synchronization afterwards.
+func (m *Metrics) SetClock(c Clock) { m.clock = c }
 
 // MetricsSnapshot is a point-in-time copy of every metric, safe to
 // retain and compare (e.g. before/after a bench run).

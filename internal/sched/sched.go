@@ -8,8 +8,6 @@
 package sched
 
 import (
-	"time"
-
 	"dimred/internal/caltime"
 	"dimred/internal/spec"
 	"dimred/internal/subcube"
@@ -106,13 +104,14 @@ func (s *Scheduler) Restore(now caltime.Day, synced bool) {
 
 func (s *Scheduler) syncNow() error {
 	met := s.cubes.Metrics()
-	start := time.Now()
+	clk := met.Clock()
+	start := clk.Now()
 	moved, err := s.cubes.Sync(s.now)
 	if err != nil {
 		return err
 	}
 	met.Syncs.Inc()
-	met.SyncDuration.Observe(time.Since(start))
+	met.SyncDuration.Observe(clk.Since(start))
 	s.Syncs++
 	s.Moved += moved
 	s.synced = true

@@ -2,9 +2,11 @@ package sched
 
 import (
 	"testing"
+	"time"
 
 	"dimred/internal/caltime"
 	"dimred/internal/dims"
+	"dimred/internal/obs"
 	"dimred/internal/spec"
 	"dimred/internal/subcube"
 )
@@ -103,6 +105,44 @@ func TestSchedulerAdvance(t *testing.T) {
 	}
 	if sc.Syncs != 3 {
 		t.Errorf("Syncs after bulk load = %d", sc.Syncs)
+	}
+}
+
+// TestSyncLatencyDeterministic drives the scheduler against the obs
+// fake clock: each sync round brackets its work with one Now/Since
+// pair, and with a 5ms step per read the latency histogram must record
+// exactly one 5ms observation per round — no flaky wall-clock slack.
+func TestSyncLatencyDeterministic(t *testing.T) {
+	p, s := buildSpec(t,
+		`aggregate [Time.month, URL.domain] where Time.month <= NOW - 6 months`)
+	cs, err := subcube.New(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cs.InsertMO(p.MO); err != nil {
+		t.Fatal(err)
+	}
+	const step = 5 * time.Millisecond
+	clk := obs.NewFakeClock(time.Date(2000, 3, 1, 0, 0, 0, 0, time.UTC))
+	clk.SetStep(step)
+	cs.Metrics().SetClock(clk)
+
+	sc := New(cs)
+	for _, d := range []caltime.Day{caltime.Date(2000, 3, 10), caltime.Date(2000, 4, 2)} {
+		if _, err := sc.AdvanceTo(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sc.OnBulkLoad(); err != nil {
+		t.Fatal(err)
+	}
+	h := cs.Metrics().SyncDuration.Snapshot()
+	if h.Count != 3 {
+		t.Fatalf("sync latency count = %d, want 3", h.Count)
+	}
+	if h.Max != step || h.Mean != step || h.Sum != 3*step {
+		t.Errorf("sync latency max=%v mean=%v sum=%v, want %v/%v/%v",
+			h.Max, h.Mean, h.Sum, step, step, 3*step)
 	}
 }
 

@@ -3,7 +3,6 @@ package subcube
 import (
 	"fmt"
 	"sync"
-	"time"
 
 	"dimred/internal/caltime"
 	"dimred/internal/expr"
@@ -83,7 +82,8 @@ func (cs *CubeSet) EvaluateTraced(q Query, t caltime.Day, tr *obs.Trace) (*mdm.M
 	if len(q.Target) != cs.env.Schema.NumDims() {
 		return nil, fmt.Errorf("subcube: Evaluate: target granularity needs %d categories", cs.env.Schema.NumDims())
 	}
-	start := time.Now()
+	clk := cs.met.Clock()
+	start := clk.Now()
 	synced := cs.synced && cs.lastSync == t
 	cs.met.Queries.Inc()
 	if tr != nil {
@@ -122,7 +122,7 @@ func (cs *CubeSet) EvaluateTraced(q Query, t caltime.Day, tr *obs.Trace) (*mdm.M
 		wg.Add(1)
 		go func(i int, c *Cube) {
 			defer wg.Done()
-			cubeStart := time.Now()
+			cubeStart := clk.Now()
 			var mo *mdm.MO
 			var err error
 			scanned, kept := 0, 0
@@ -146,7 +146,7 @@ func (cs *CubeSet) EvaluateTraced(q Query, t caltime.Day, tr *obs.Trace) (*mdm.M
 				e.FastPath = synced
 				e.RowsScanned = scanned
 				e.RowsKept = kept
-				e.Duration = time.Since(cubeStart)
+				e.Duration = clk.Since(cubeStart)
 			}
 			if err != nil {
 				errs[i] = err
@@ -156,7 +156,7 @@ func (cs *CubeSet) EvaluateTraced(q Query, t caltime.Day, tr *obs.Trace) (*mdm.M
 		}(i, c)
 	}
 	wg.Wait()
-	scanDone := time.Now()
+	scanDone := clk.Now()
 	if tr != nil {
 		tr.AddStage("parallel subcube scan", scanDone.Sub(start))
 	}
@@ -183,10 +183,11 @@ func (cs *CubeSet) EvaluateTraced(q Query, t caltime.Day, tr *obs.Trace) (*mdm.M
 		}
 	}
 	out, err := query.Aggregate(union, q.Target, q.Agg)
-	cs.met.QueryDuration.Observe(time.Since(start))
+	now := clk.Now()
+	cs.met.QueryDuration.Observe(now.Sub(start))
 	if tr != nil {
-		tr.AddStage("combine + final aggregate", time.Since(scanDone))
-		tr.Total = time.Since(start)
+		tr.AddStage("combine + final aggregate", now.Sub(scanDone))
+		tr.Total = now.Sub(start)
 		if err == nil {
 			tr.ResultCells = out.Len()
 		}
