@@ -1,18 +1,24 @@
 // Command dimredlint is the repository's multichecker: it runs the
 // domain-invariant analyzers of internal/lint (wallclock, atomicfield,
-// invariantcall, errwrap) together with stdlib reimplementations of
-// the x/tools nilness and shadow passes over the module, and exits
+// invariantcall, errwrap, plus the dataflow-powered purity, nowflow
+// and lockfield passes) together with stdlib reimplementations of the
+// x/tools nilness and shadow passes over the module, and exits
 // non-zero when any finding survives //dimred:allow suppression.
 //
 // Usage:
 //
-//	dimredlint [-only a,b] [-list] [packages...]
+//	dimredlint [-only a,b] [-list] [-json] [-audit] [packages...]
 //
-// Packages default to ./... relative to the current directory. Exit
-// status: 0 clean, 1 findings, 2 usage or load failure.
+// Packages default to ./... relative to the current directory. -json
+// emits one JSON object per finding (file, line, col, analyzer,
+// message) for machine consumers such as the CI problem matcher.
+// -audit lists every //dimred:allow suppression in the tree with its
+// mandatory reason instead of running the analyzers. Exit status: 0
+// clean, 1 findings, 2 usage or load failure.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -32,6 +38,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
 	list := fs.Bool("list", false, "list the bundled analyzers and exit")
+	jsonOut := fs.Bool("json", false, "emit findings as JSON, one object per line")
+	audit := fs.Bool("audit", false, "list every //dimred:allow suppression with its reason and exit")
 	dir := fs.String("C", ".", "directory to run in (the module to analyze)")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -65,20 +73,82 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "dimredlint: %v\n", err)
 		return 2
 	}
-	diags := lint.Run(units, analyzers)
 	cwd, _ := os.Getwd()
-	for _, d := range diags {
-		name := d.Pos.Filename
+	relName := func(name string) string {
 		if cwd != "" {
 			if rel, err := filepath.Rel(cwd, name); err == nil && !strings.HasPrefix(rel, "..") {
-				name = rel
+				return rel
 			}
 		}
-		fmt.Fprintf(stdout, "%s:%d:%d: %s [%s]\n", name, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
+		return name
+	}
+
+	if *audit {
+		allows := lint.Audit(units)
+		if *jsonOut {
+			enc := json.NewEncoder(stdout)
+			for _, al := range allows {
+				if err := enc.Encode(jsonAllow{
+					File:     relName(al.Pos.Filename),
+					Line:     al.Pos.Line,
+					Analyzer: al.Analyzer,
+					Reason:   al.Reason,
+				}); err != nil {
+					fmt.Fprintf(stderr, "dimredlint: %v\n", err)
+					return 2
+				}
+			}
+		} else {
+			for _, al := range allows {
+				fmt.Fprintf(stdout, "%s:%d: %s: %s\n", relName(al.Pos.Filename), al.Pos.Line, al.Analyzer, al.Reason)
+			}
+		}
+		fmt.Fprintf(stderr, "dimredlint: %d suppression(s)\n", len(allows))
+		return 0
+	}
+
+	diags := lint.Run(units, analyzers)
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		for _, d := range diags {
+			if err := enc.Encode(jsonFinding{
+				File:     relName(d.Pos.Filename),
+				Line:     d.Pos.Line,
+				Col:      d.Pos.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			}); err != nil {
+				fmt.Fprintf(stderr, "dimredlint: %v\n", err)
+				return 2
+			}
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintf(stdout, "%s:%d:%d: %s [%s]\n", relName(d.Pos.Filename), d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(stderr, "dimredlint: %d finding(s)\n", len(diags))
 		return 1
 	}
 	return 0
+}
+
+// jsonFinding is the stable machine-readable finding shape; the GitHub
+// problem matcher in .github/problem-matchers/dimredlint.json parses
+// the plain-text form, CI archives this one.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// jsonAllow is the machine-readable -audit entry.
+type jsonAllow struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Analyzer string `json:"analyzer"`
+	Reason   string `json:"reason"`
 }

@@ -1,13 +1,16 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"dimred/internal/lint"
 )
 
-func repoRoot(t *testing.T) string {
+func repoRoot(t testing.TB) string {
 	t.Helper()
 	dir, err := os.Getwd()
 	if err != nil {
@@ -39,13 +42,16 @@ func TestRunCleanOnRepo(t *testing.T) {
 	}
 }
 
-func TestRunFindsInjectedViolation(t *testing.T) {
+// scratchModule lays out a throwaway module under a TempDir and returns
+// its root, for tests that need dimredlint to load real packages.
+func scratchModule(t *testing.T, files map[string]string) string {
+	t.Helper()
 	dir := t.TempDir()
 	if resolved, err := filepath.EvalSymlinks(dir); err == nil {
 		dir = resolved
 	}
-	write := func(rel, content string) {
-		t.Helper()
+	files["go.mod"] = "module lintfix\n\ngo 1.24\n"
+	for rel, content := range files {
 		path := filepath.Join(dir, rel)
 		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 			t.Fatal(err)
@@ -54,13 +60,18 @@ func TestRunFindsInjectedViolation(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	write("go.mod", "module lintfix\n\ngo 1.24\n")
-	write("internal/core/core.go", `package core
+	return dir
+}
+
+func TestRunFindsInjectedViolation(t *testing.T) {
+	dir := scratchModule(t, map[string]string{
+		"internal/core/core.go": `package core
 
 import "time"
 
 func Stamp() time.Time { return time.Now() }
-`)
+`,
+	})
 	var out, errOut strings.Builder
 	code := run([]string{"-C", dir, "./..."}, &out, &errOut)
 	if code != 1 {
@@ -76,7 +87,7 @@ func TestRunList(t *testing.T) {
 	if code := run([]string{"-list"}, &out, &errOut); code != 0 {
 		t.Fatalf("exit %d from -list", code)
 	}
-	for _, name := range []string{"wallclock", "atomicfield", "invariantcall", "errwrap", "nilness", "shadow"} {
+	for _, name := range []string{"wallclock", "atomicfield", "invariantcall", "errwrap", "purity", "nowflow", "lockfield", "nilness", "shadow"} {
 		if !strings.Contains(out.String(), name) {
 			t.Errorf("-list output missing %s:\n%s", name, out.String())
 		}
@@ -90,5 +101,128 @@ func TestRunOnlyFilter(t *testing.T) {
 	}
 	if !strings.Contains(errOut.String(), "unknown analyzer") {
 		t.Errorf("stderr missing diagnostic: %s", errOut.String())
+	}
+}
+
+func TestRunJSON(t *testing.T) {
+	dir := scratchModule(t, map[string]string{
+		"internal/core/core.go": `package core
+
+import "time"
+
+func Stamp() time.Time { return time.Now() }
+`,
+	})
+	var out, errOut strings.Builder
+	code := run([]string{"-C", dir, "-json", "./..."}, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1\nstdout:\n%s\nstderr:\n%s", code, out.String(), errOut.String())
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 1 {
+		t.Fatalf("want exactly 1 JSON finding, got %d:\n%s", len(lines), out.String())
+	}
+	var f struct {
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Col      int    `json:"col"`
+		Analyzer string `json:"analyzer"`
+		Message  string `json:"message"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &f); err != nil {
+		t.Fatalf("invalid JSON line %q: %v", lines[0], err)
+	}
+	if f.Analyzer != "wallclock" {
+		t.Errorf("analyzer = %q, want wallclock", f.Analyzer)
+	}
+	if !strings.HasSuffix(f.File, "core.go") || f.Line == 0 || f.Col == 0 {
+		t.Errorf("bad position %s:%d:%d", f.File, f.Line, f.Col)
+	}
+	if !strings.Contains(f.Message, "time.Now") {
+		t.Errorf("message %q missing time.Now", f.Message)
+	}
+}
+
+func TestRunAudit(t *testing.T) {
+	dir := scratchModule(t, map[string]string{
+		"internal/core/core.go": `package core
+
+import "time"
+
+// Stamp is intentionally suppressed so -audit has something to report.
+func Stamp() time.Time {
+	return time.Now() //dimred:allow wallclock ingest timestamps carry real arrival time
+}
+`,
+	})
+	var out, errOut strings.Builder
+	code := run([]string{"-C", dir, "-audit", "./..."}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d, want 0\nstdout:\n%s\nstderr:\n%s", code, out.String(), errOut.String())
+	}
+	got := out.String()
+	if !strings.Contains(got, "wallclock: ingest timestamps carry real arrival time") {
+		t.Errorf("audit output missing analyzer and reason:\n%s", got)
+	}
+	if !strings.Contains(errOut.String(), "1 suppression(s)") {
+		t.Errorf("stderr missing count: %s", errOut.String())
+	}
+
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-C", dir, "-audit", "-json", "./..."}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d from -audit -json", code)
+	}
+	var al struct {
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Analyzer string `json:"analyzer"`
+		Reason   string `json:"reason"`
+	}
+	if err := json.Unmarshal([]byte(strings.TrimSpace(out.String())), &al); err != nil {
+		t.Fatalf("invalid -audit -json output %q: %v", out.String(), err)
+	}
+	if al.Analyzer != "wallclock" || al.Reason != "ingest timestamps carry real arrival time" {
+		t.Errorf("bad audit entry: %+v", al)
+	}
+}
+
+// BenchmarkLintRepo measures a full analyzer sweep over the module,
+// with loading (go list + parse + typecheck) paid once outside the
+// loop. CI's bench smoke runs it for one iteration, so an analyzer
+// that panics or pathologically slows on the real tree fails there.
+func BenchmarkLintRepo(b *testing.B) {
+	units, err := lint.Load(repoRoot(b), "./...")
+	if err != nil {
+		b.Fatal(err)
+	}
+	analyzers := lint.All()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if diags := lint.Run(units, analyzers); len(diags) != 0 {
+			b.Fatalf("unexpected findings: %d", len(diags))
+		}
+	}
+}
+
+// TestRepoSuppressionBudget pins the number of //dimred:allow escape
+// hatches in the production tree. A new suppression is a reviewed
+// decision: update the count here alongside its mandatory reason.
+func TestRepoSuppressionBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads the whole module; skipped in -short mode")
+	}
+	var out, errOut strings.Builder
+	code := run([]string{"-C", repoRoot(t), "-audit", "./..."}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d from -audit\nstderr:\n%s", code, errOut.String())
+	}
+	const budget = 1 // internal/spec/env.go: nowflow, synthetic canonical window
+	var lines []string
+	if s := strings.TrimSpace(out.String()); s != "" {
+		lines = strings.Split(s, "\n")
+	}
+	if len(lines) != budget {
+		t.Errorf("production tree has %d suppressions, budget is %d:\n%s", len(lines), budget, out.String())
 	}
 }

@@ -90,6 +90,8 @@ type Result struct {
 // measure is folded with its default aggregate function over the group.
 // The schema and dimensions are unchanged, so new facts conforming to
 // the original schema may still be inserted afterwards.
+//
+//dimred:aggregate
 func Reduce(s *spec.Spec, mo *mdm.MO, t caltime.Day) (*Result, error) {
 	schema := s.Env().Schema
 	type group struct {

@@ -1,16 +1,20 @@
 package lint
 
 // All returns every analyzer the dimredlint multichecker bundles, with
-// the repository's default configuration: the four domain-invariant
-// passes plus the stdlib reimplementations of the x/tools nilness and
-// shadow vet passes (the module deliberately carries no external
-// dependencies, so the x/tools originals cannot be vendored).
+// the repository's default configuration: the domain-invariant passes
+// (the dataflow-powered purity/nowflow/lockfield trio among them) plus
+// the stdlib reimplementations of the x/tools nilness and shadow vet
+// passes (the module deliberately carries no external dependencies, so
+// the x/tools originals cannot be vendored).
 func All() []*Analyzer {
 	return []*Analyzer{
 		NewWallclock(DefaultWallclockRestricted),
 		NewAtomicField(),
 		NewInvariantCall(DefaultInvariantConfig),
 		NewErrwrap(),
+		NewPurity(),
+		NewNowflow(DefaultNowflowRestricted),
+		NewLockField(),
 		NewNilness(),
 		NewShadow(),
 	}

@@ -1,0 +1,260 @@
+package lint
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+// typecheckFunc parses and type-checks src and returns the first
+// function declaration with its type info.
+func typecheckFunc(t *testing.T, src string) (*ast.FuncDecl, *types.Info) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "df_test.go", src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	conf := types.Config{Importer: importer.Default()}
+	if _, err := conf.Check("p", fset, []*ast.File{f}, info); err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+			return fd, info
+		}
+	}
+	t.Fatal("no function in source")
+	return nil, nil
+}
+
+// findVar looks up a function-local variable by name via the Defs map.
+func findVar(t *testing.T, info *types.Info, name string) *types.Var {
+	t.Helper()
+	for id, obj := range info.Defs {
+		if id.Name == name {
+			if v, ok := obj.(*types.Var); ok {
+				return v
+			}
+		}
+	}
+	t.Fatalf("variable %q not found", name)
+	return nil
+}
+
+// returnBlock finds the block and node of the first return statement.
+func returnBlock(t *testing.T, g *CFG) (*Block, ast.Node) {
+	t.Helper()
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			if _, ok := n.(*ast.ReturnStmt); ok {
+				return b, n
+			}
+		}
+	}
+	t.Fatal("no return statement in CFG")
+	return nil, nil
+}
+
+func TestReachingDefsKill(t *testing.T) {
+	fd, info := typecheckFunc(t, `package p
+func f() int {
+	x := 1
+	x = 2
+	return x
+}`)
+	g := BuildCFG(fd.Body)
+	rd := NewReachingDefs(info, fd, g)
+	b, ret := returnBlock(t, g)
+	defs := rd.DefsAt(info, b, ret, findVar(t, info, "x"))
+	if len(defs) != 1 {
+		t.Fatalf("want exactly 1 reaching def after kill, got %d", len(defs))
+	}
+	lit, ok := ast.Unparen(defs[0].Rhs).(*ast.BasicLit)
+	if !ok || lit.Value != "2" {
+		t.Fatalf("reaching def should be x = 2, got %v", defs[0].Rhs)
+	}
+}
+
+func TestReachingDefsBranchMerge(t *testing.T) {
+	fd, info := typecheckFunc(t, `package p
+func f(c bool) int {
+	x := 1
+	if c {
+		x = 2
+	}
+	return x
+}`)
+	g := BuildCFG(fd.Body)
+	rd := NewReachingDefs(info, fd, g)
+	b, ret := returnBlock(t, g)
+	defs := rd.DefsAt(info, b, ret, findVar(t, info, "x"))
+	if len(defs) != 2 {
+		t.Fatalf("both branch definitions must reach the merge, got %d", len(defs))
+	}
+}
+
+func TestReachingDefsLoop(t *testing.T) {
+	fd, info := typecheckFunc(t, `package p
+func f(n int) int {
+	x := 0
+	for i := 0; i < n; i++ {
+		x = i
+	}
+	return x
+}`)
+	g := BuildCFG(fd.Body)
+	rd := NewReachingDefs(info, fd, g)
+	b, ret := returnBlock(t, g)
+	defs := rd.DefsAt(info, b, ret, findVar(t, info, "x"))
+	if len(defs) != 2 {
+		t.Fatalf("init and loop-body definitions must both reach the exit, got %d", len(defs))
+	}
+}
+
+func TestReachingDefsParams(t *testing.T) {
+	fd, info := typecheckFunc(t, `package p
+func f(a int) int {
+	return a
+}`)
+	g := BuildCFG(fd.Body)
+	rd := NewReachingDefs(info, fd, g)
+	b, ret := returnBlock(t, g)
+	defs := rd.DefsAt(info, b, ret, findVar(t, info, "a"))
+	if len(defs) != 1 {
+		t.Fatalf("parameter definition must reach, got %d", len(defs))
+	}
+	if defs[0].Node != nil || defs[0].Rhs != nil {
+		t.Fatalf("parameter defs carry no node/rhs, got %+v", defs[0])
+	}
+}
+
+func TestReachingDefsUntrackedVar(t *testing.T) {
+	fd, info := typecheckFunc(t, `package p
+var g int
+func f() int {
+	return g
+}`)
+	cfg := BuildCFG(fd.Body)
+	rd := NewReachingDefs(info, fd, cfg)
+	b, ret := returnBlock(t, cfg)
+	var gv *types.Var
+	for id, obj := range info.Uses {
+		if id.Name == "g" {
+			gv, _ = obj.(*types.Var)
+		}
+	}
+	if gv == nil {
+		t.Fatal("package var g not found")
+	}
+	if defs := rd.DefsAt(info, b, ret, gv); defs != nil {
+		t.Fatalf("package-level vars are untracked; want nil, got %v", defs)
+	}
+}
+
+// TestSolveBackwardLiveness exercises the Backward direction with a
+// from-scratch liveness problem: x is live entering the branch (one
+// path returns it) but dead after the trailing dead store.
+func TestSolveBackwardLiveness(t *testing.T) {
+	fd, info := typecheckFunc(t, `package p
+func f(c bool) int {
+	x := 1
+	if c {
+		return x
+	}
+	x = 9
+	return 0
+}`)
+	g := BuildCFG(fd.Body)
+
+	type live = map[*types.Var]bool
+	use := func(n ast.Node, s live) {
+		inspectNoFuncLit(n, func(x ast.Node) bool {
+			if id, ok := x.(*ast.Ident); ok {
+				if v, ok := info.Uses[id].(*types.Var); ok {
+					s[v] = true
+				}
+			}
+			return true
+		})
+	}
+	out := Solve(g, Problem[live]{
+		Dir:      Backward,
+		Boundary: live{},
+		Merge: func(a, b live) live {
+			c := live{}
+			for k := range a {
+				c[k] = true
+			}
+			for k := range b {
+				c[k] = true
+			}
+			return c
+		},
+		Equal: func(a, b live) bool {
+			if len(a) != len(b) {
+				return false
+			}
+			for k := range a {
+				if !b[k] {
+					return false
+				}
+			}
+			return true
+		},
+		Transfer: func(b *Block, in live) live {
+			cur := live{}
+			for k := range in {
+				cur[k] = true
+			}
+			// Backward: process nodes in reverse (kill defs, gen uses).
+			for i := len(b.Nodes) - 1; i >= 0; i-- {
+				n := b.Nodes[i]
+				if as, ok := n.(*ast.AssignStmt); ok {
+					for _, lhs := range as.Lhs {
+						if id, ok := lhs.(*ast.Ident); ok {
+							if v, ok := info.Defs[id].(*types.Var); ok {
+								delete(cur, v)
+							}
+						}
+					}
+					for _, rhs := range as.Rhs {
+						use(rhs, cur)
+					}
+					continue
+				}
+				use(n, cur)
+			}
+			return cur
+		},
+	})
+
+	// Under Backward orientation, out[b] is the fact at b's *exit*.
+	xv := findVar(t, info, "x")
+	if !out[g.Entry][xv] {
+		t.Fatal("x must be live at the entry block's exit: the then-branch returns it")
+	}
+	// The block holding the dead store x = 9: x is dead at its exit.
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || as.Tok != token.ASSIGN {
+				continue
+			}
+			if out[b][xv] {
+				t.Fatal("x must be dead after the trailing dead store")
+			}
+		}
+	}
+}

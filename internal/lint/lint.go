@@ -21,6 +21,20 @@
 //   - errwrap: error chains must stay inspectable (%w, no silently
 //     discarded error results in internal/ and cmd/).
 //
+// Three further analyzers are flow-sensitive, built on the package's
+// own CFG construction (cfg.go) and dataflow solver (dataflow.go):
+//
+//   - purity: functions marked //dimred:aggregate — the distributive
+//     default aggregates Definition 6's Group_high folds in arbitrary
+//     order — must not write package state, read the clock, or range
+//     over maps, transitively over the static call graph.
+//   - nowflow: a taint analysis ensuring every caltime.Day used as an
+//     evaluation time descends from an explicit t/now parameter or
+//     clock seam, never from a literal or ad-hoc construction.
+//   - lockfield: a lockset analysis ensuring a struct field written
+//     under a sync.Mutex/RWMutex is accessed under that mutex
+//     everywhere (mutex-guarded complement of atomicfield).
+//
 // Findings can be suppressed in source with a comment on the offending
 // line or the line directly above it:
 //
@@ -109,12 +123,20 @@ type allowSet map[string]map[int]map[string]bool
 
 const allowPrefix = "//dimred:allow "
 
-// collectAllows scans every file's comments for allow directives. A
-// directive names one analyzer and must carry a reason; it silences
-// findings on its own line and on the line below (so it can sit either
-// at the end of the offending line or on its own line above it).
-func collectAllows(units []*Unit) allowSet {
-	set := allowSet{}
+// Allow is one //dimred:allow directive found in the source tree, for
+// the suppression audit (dimredlint -audit).
+type Allow struct {
+	Pos      token.Position
+	Analyzer string
+	Reason   string
+}
+
+// Audit returns every well-formed //dimred:allow directive in the
+// loaded units, sorted by position. It is the basis of the
+// suppression audit: each entry is a finding someone chose to silence,
+// with the mandatory reason on record.
+func Audit(units []*Unit) []Allow {
+	var out []Allow
 	for _, u := range units {
 		for _, f := range u.Files {
 			for _, cg := range f.Comments {
@@ -127,19 +149,41 @@ func collectAllows(units []*Unit) allowSet {
 					if len(fields) < 2 {
 						continue // a reason is mandatory
 					}
-					pos := u.Fset.Position(c.Pos())
-					byLine := set[pos.Filename]
-					if byLine == nil {
-						byLine = map[int]map[string]bool{}
-						set[pos.Filename] = byLine
-					}
-					if byLine[pos.Line] == nil {
-						byLine[pos.Line] = map[string]bool{}
-					}
-					byLine[pos.Line][fields[0]] = true
+					out = append(out, Allow{
+						Pos:      u.Fset.Position(c.Pos()),
+						Analyzer: fields[0],
+						Reason:   strings.Join(fields[1:], " "),
+					})
 				}
 			}
 		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		return a.Pos.Line < b.Pos.Line
+	})
+	return out
+}
+
+// collectAllows reduces the audit view to the per-line suppression
+// lookup Run uses. A directive silences findings on its own line and
+// on the line below (so it can sit either at the end of the offending
+// line or on its own line above it).
+func collectAllows(units []*Unit) allowSet {
+	set := allowSet{}
+	for _, al := range Audit(units) {
+		byLine := set[al.Pos.Filename]
+		if byLine == nil {
+			byLine = map[int]map[string]bool{}
+			set[al.Pos.Filename] = byLine
+		}
+		if byLine[al.Pos.Line] == nil {
+			byLine[al.Pos.Line] = map[string]bool{}
+		}
+		byLine[al.Pos.Line][al.Analyzer] = true
 	}
 	return set
 }

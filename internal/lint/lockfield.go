@@ -1,0 +1,556 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// NewLockField builds the lockfield analyzer: mutex-discipline
+// checking for the engine's shared state, closing the gap atomicfield
+// leaves for fields guarded by a sync.Mutex/RWMutex instead of
+// sync/atomic.
+//
+// The analysis runs a forward lockset dataflow (which mutex fields
+// are held, and at what strength, at each program point) over the CFG
+// of every function in the module, then infers guards: a field
+// written while a write lock on a mutex of the *same* struct is held
+// is considered guarded by that mutex. Every other access to a
+// guarded field must then hold the guard — at write strength for
+// writes, at least read strength (RLock) for reads.
+//
+// Conventions and exemptions:
+//
+//   - methods whose name ends in "Locked" are callee-side annotated:
+//     their bodies assume every mutex field of the receiver is held
+//     (the caller's obligation), and every *call* to such a method
+//     must hold those mutexes at least at read strength;
+//   - accesses through a local variable that reaching-definitions
+//     proves freshly allocated in this function (x := T{...},
+//     x := &T{...}, x := new(T), var x T) are exempt: nothing else
+//     can see the object yet, so constructors stay lock-free;
+//   - deferred Unlock/RUnlock calls take effect on the function's
+//     exit paths (the CFG's defers block), so a Lock at the top plus
+//     a deferred Unlock holds for the whole body;
+//   - function literals are opaque (a goroutine body has its own
+//     control flow); locks taken or released inside one are not seen.
+func NewLockField() *Analyzer {
+	a := &Analyzer{
+		Name: "lockfield",
+		Doc: "a struct field written under a sync.Mutex/RWMutex Lock must be accessed " +
+			"under that lock everywhere (reads may hold RLock)",
+	}
+	a.RunModule = func(units []*Unit) []Diagnostic {
+		// Mutex fields per owner struct, for the *Locked convention.
+		ownerMutexes := map[string][]string{}
+		for _, u := range units {
+			scope := u.Pkg.Scope()
+			for _, name := range scope.Names() {
+				tn, ok := scope.Lookup(name).(*types.TypeName)
+				if !ok {
+					continue
+				}
+				st, ok := tn.Type().Underlying().(*types.Struct)
+				if !ok {
+					continue
+				}
+				owner := u.Pkg.Path() + "." + tn.Name()
+				for i := 0; i < st.NumFields(); i++ {
+					f := st.Field(i)
+					if isMutexType(f.Type()) {
+						ownerMutexes[owner] = append(ownerMutexes[owner], owner+"."+f.Name())
+					}
+				}
+			}
+		}
+
+		// Phase 1: per-function lockset dataflow; collect every field
+		// access with the locks held at it.
+		var accesses []lockAccess
+		var lockedCalls []lockedCall
+		for _, u := range units {
+			for _, f := range u.Files {
+				parents := parentMap(f)
+				for _, decl := range f.Decls {
+					fd, ok := decl.(*ast.FuncDecl)
+					if !ok || fd.Body == nil {
+						continue
+					}
+					la := &lockAnalysis{u: u, fd: fd, parents: parents, ownerMutexes: ownerMutexes}
+					la.run()
+					accesses = append(accesses, la.accesses...)
+					lockedCalls = append(lockedCalls, la.lockedCalls...)
+				}
+			}
+		}
+
+		// Phase 2: infer guards. A field is guarded by a mutex of its
+		// own struct that is write-held at some non-exempt write.
+		guards := map[string]map[string]bool{}
+		for _, a := range accesses {
+			if !a.write || a.exempt {
+				continue
+			}
+			for lock, level := range a.locks {
+				if level >= lockWrite && strings.HasPrefix(lock, a.owner+".") {
+					if guards[a.key] == nil {
+						guards[a.key] = map[string]bool{}
+					}
+					guards[a.key][lock] = true
+				}
+			}
+		}
+
+		// Phase 3: every non-exempt access to a guarded field must
+		// hold one of its guards at the required strength.
+		var ds []Diagnostic
+		for _, a := range accesses {
+			gs := guards[a.key]
+			if len(gs) == 0 || a.exempt {
+				continue
+			}
+			need := lockRead
+			verb := "read"
+			if a.write {
+				need = lockWrite
+				verb = "write"
+			}
+			ok := false
+			for lock := range gs {
+				if a.locks[lock] >= need {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				ds = append(ds, a.unit.Diag(a.pos,
+					"%s of field %s without holding %s, which guards it elsewhere in the module",
+					verb, a.key, guardNames(gs, a.owner)))
+			}
+		}
+		for _, c := range lockedCalls {
+			var missing []string
+			for _, lock := range ownerMutexes[c.owner] {
+				if c.locks[lock] < lockRead {
+					missing = append(missing, lock)
+				}
+			}
+			if len(missing) > 0 {
+				sort.Strings(missing)
+				ds = append(ds, c.unit.Diag(c.pos,
+					"call to %s (the Locked suffix asserts the caller holds the receiver's locks) without holding %s",
+					c.name, shortLockList(missing, c.owner)))
+			}
+		}
+		return ds
+	}
+	return a
+}
+
+const (
+	lockRead  = 1
+	lockWrite = 2
+)
+
+// lockSet maps mutex field keys to the strength held.
+type lockSet map[string]int
+
+func (s lockSet) clone() lockSet {
+	c := make(lockSet, len(s))
+	for k, v := range s {
+		c[k] = v
+	}
+	return c
+}
+
+// lockMeet intersects two locksets at the weaker strength: a lock is
+// held after a merge only if held on every incoming path.
+func lockMeet(a, b lockSet) lockSet {
+	c := lockSet{}
+	for k, v := range a {
+		if bv, ok := b[k]; ok {
+			if bv < v {
+				v = bv
+			}
+			c[k] = v
+		}
+	}
+	return c
+}
+
+func lockSetEqual(a, b lockSet) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// lockAccess is one field access with its lock context.
+type lockAccess struct {
+	unit   *Unit
+	pos    token.Pos
+	key    string // pkg.Type.field
+	owner  string // pkg.Type
+	write  bool
+	exempt bool // base object freshly allocated in this function
+	locks  lockSet
+}
+
+// lockedCall is a call to a *Locked-suffixed method.
+type lockedCall struct {
+	unit  *Unit
+	pos   token.Pos
+	name  string
+	owner string
+	locks lockSet
+}
+
+type lockAnalysis struct {
+	u            *Unit
+	fd           *ast.FuncDecl
+	parents      map[ast.Node]ast.Node
+	ownerMutexes map[string][]string
+
+	g  *CFG
+	rd *ReachingDefs
+
+	accesses    []lockAccess
+	lockedCalls []lockedCall
+}
+
+func (la *lockAnalysis) run() {
+	la.g = BuildCFG(la.fd.Body)
+
+	boundary := lockSet{}
+	if strings.HasSuffix(la.fd.Name.Name, "Locked") {
+		if owner := receiverOwner(la.u, la.fd); owner != "" {
+			for _, lock := range la.ownerMutexes[owner] {
+				boundary[lock] = lockWrite
+			}
+		}
+	}
+
+	in := Solve(la.g, Problem[lockSet]{
+		Dir:      Forward,
+		Boundary: boundary,
+		Merge:    lockMeet,
+		Equal:    lockSetEqual,
+		Transfer: func(b *Block, in lockSet) lockSet {
+			cur := in.clone()
+			for _, n := range b.Nodes {
+				la.transfer(b, n, cur)
+			}
+			return cur
+		},
+	})
+
+	for _, blk := range la.g.Blocks {
+		facts, ok := in[blk]
+		if !ok {
+			continue // unreachable
+		}
+		cur := facts.clone()
+		for _, n := range blk.Nodes {
+			if blk.Kind != "defers" {
+				la.scanNode(blk, n, cur)
+			}
+			la.transfer(blk, n, cur)
+		}
+	}
+}
+
+// transfer applies the lock operations a node performs, mutating set.
+// Deferred calls act in the defers block, not where they appear.
+func (la *lockAnalysis) transfer(blk *Block, n ast.Node, set lockSet) {
+	if d, ok := n.(*ast.DeferStmt); ok {
+		if blk.Kind == "defers" {
+			la.applyLockOp(d.Call, set)
+		}
+		return
+	}
+	for _, part := range shallowParts(n) {
+		inspectNoFuncLit(part, func(x ast.Node) bool {
+			if call, ok := x.(*ast.CallExpr); ok {
+				la.applyLockOp(call, set)
+			}
+			return true
+		})
+	}
+}
+
+// applyLockOp interprets call if it is a Lock/RLock/Unlock/RUnlock on
+// a mutex struct field.
+func (la *lockAnalysis) applyLockOp(call *ast.CallExpr, set lockSet) {
+	fn := calleeFunc(la.u.Info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	base, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	key, isField := fieldKey(la.u.Info, base)
+	if !isField || !isMutexType(la.u.Info.Selections[base].Type()) {
+		return
+	}
+	switch fn.Name() {
+	case "Lock":
+		set[key] = lockWrite
+	case "RLock":
+		if set[key] < lockRead {
+			set[key] = lockRead
+		}
+	case "Unlock", "RUnlock":
+		delete(set, key)
+	}
+}
+
+// scanNode records the field accesses and *Locked calls in one node
+// under the current lockset.
+func (la *lockAnalysis) scanNode(blk *Block, n ast.Node, set lockSet) {
+	for _, part := range shallowParts(n) {
+		inspectNoFuncLit(part, func(x ast.Node) bool {
+			switch x := x.(type) {
+			case *ast.SelectorExpr:
+				la.recordAccess(blk, x, set)
+			case *ast.CallExpr:
+				la.recordLockedCall(x, set)
+			}
+			return true
+		})
+	}
+}
+
+func (la *lockAnalysis) recordAccess(blk *Block, sel *ast.SelectorExpr, set lockSet) {
+	owner, key, ok := fieldOwnerKey(la.u.Info, sel)
+	if !ok {
+		return
+	}
+	if isMutexType(la.u.Info.Selections[sel].Type()) {
+		return // the mutex itself is operated, not guarded
+	}
+	la.accesses = append(la.accesses, lockAccess{
+		unit:   la.u,
+		pos:    sel.Pos(),
+		key:    key,
+		owner:  owner,
+		write:  isWriteContext(la.parents, sel),
+		exempt: la.freshBase(blk, sel),
+		locks:  set.clone(),
+	})
+}
+
+func (la *lockAnalysis) recordLockedCall(call *ast.CallExpr, set lockSet) {
+	fn := calleeFunc(la.u.Info, call)
+	if fn == nil || !strings.HasSuffix(fn.Name(), "Locked") {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return
+	}
+	owner := namedOwner(sig.Recv().Type())
+	if owner == "" || len(la.ownerMutexes[owner]) == 0 {
+		return
+	}
+	la.lockedCalls = append(la.lockedCalls, lockedCall{
+		unit:  la.u,
+		pos:   call.Pos(),
+		name:  fn.Name(),
+		owner: owner,
+		locks: set.clone(),
+	})
+}
+
+// freshBase reports whether the root of sel's base chain is a local
+// variable all of whose reaching definitions are fresh allocations —
+// the object cannot be shared yet, so lock discipline does not apply.
+func (la *lockAnalysis) freshBase(blk *Block, sel *ast.SelectorExpr) bool {
+	e := ast.Expr(sel)
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.SelectorExpr:
+			e = x.X
+			continue
+		case *ast.IndexExpr:
+			e = x.X
+			continue
+		case *ast.StarExpr:
+			e = x.X
+			continue
+		case *ast.Ident:
+			v, _ := la.u.Info.Uses[x].(*types.Var)
+			if v == nil {
+				if dv, ok := la.u.Info.Defs[x].(*types.Var); ok {
+					v = dv
+				}
+			}
+			if v == nil {
+				return false
+			}
+			if la.rd == nil {
+				la.rd = NewReachingDefs(la.u.Info, la.fd, la.g)
+			}
+			at := enclosingBlockNode(blk, sel)
+			defs := la.rd.DefsAt(la.u.Info, blk, at, v)
+			if len(defs) == 0 {
+				return false // untracked (package var, closure) or dead
+			}
+			for _, d := range defs {
+				if !freshDef(d) {
+					return false
+				}
+			}
+			return true
+		default:
+			return false
+		}
+	}
+}
+
+// enclosingBlockNode finds the top-level node of blk that contains n,
+// so reaching definitions can replay the block up to it.
+func enclosingBlockNode(blk *Block, n ast.Node) ast.Node {
+	for _, bn := range blk.Nodes {
+		if containsNode(bn, n) {
+			return bn
+		}
+	}
+	return nil
+}
+
+// freshDef reports whether a definition provably yields a freshly
+// allocated, unshared object: x := T{...}, x := &T{...}, x := new(T),
+// or a zero-value var declaration.
+func freshDef(d Def) bool {
+	if d.Rhs == nil {
+		if _, isDecl := d.Node.(*ast.DeclStmt); isDecl {
+			return true // var x T with no initializer
+		}
+		return false // parameter, range binding, multi-assign
+	}
+	switch rhs := ast.Unparen(d.Rhs).(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.UnaryExpr:
+		if rhs.Op != token.AND {
+			return false
+		}
+		_, isLit := ast.Unparen(rhs.X).(*ast.CompositeLit)
+		return isLit
+	case *ast.CallExpr:
+		if id, ok := ast.Unparen(rhs.Fun).(*ast.Ident); ok && id.Name == "new" {
+			return true
+		}
+	}
+	return false
+}
+
+// isWriteContext reports whether sel is written: an assignment LHS, an
+// inc/dec operand, or has its address taken (conservatively a write).
+func isWriteContext(parents map[ast.Node]ast.Node, sel *ast.SelectorExpr) bool {
+	switch p := skipParens(parents, sel).(type) {
+	case *ast.AssignStmt:
+		for _, lhs := range p.Lhs {
+			if ast.Unparen(lhs) == ast.Expr(sel) {
+				return true
+			}
+		}
+	case *ast.IncDecStmt:
+		return ast.Unparen(p.X) == ast.Expr(sel)
+	case *ast.UnaryExpr:
+		return p.Op == token.AND
+	}
+	return false
+}
+
+// fieldOwnerKey is fieldKey plus the owning struct's key.
+func fieldOwnerKey(info *types.Info, sel *ast.SelectorExpr) (owner, key string, ok bool) {
+	s, found := info.Selections[sel]
+	if !found || s.Kind() != types.FieldVal {
+		return "", "", false
+	}
+	owner = namedOwner(s.Recv())
+	if owner == "" {
+		return "", "", false
+	}
+	return owner, owner + "." + s.Obj().Name(), true
+}
+
+// namedOwner renders a (possibly pointer-to) named type as pkg.Type.
+func namedOwner(t types.Type) string {
+	if p, isPtr := t.(*types.Pointer); isPtr {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return ""
+	}
+	return named.Obj().Pkg().Path() + "." + named.Obj().Name()
+}
+
+// receiverOwner returns the pkg.Type key of fd's receiver, or "".
+func receiverOwner(u *Unit, fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return ""
+	}
+	tv, ok := u.Info.Types[fd.Recv.List[0].Type]
+	if !ok {
+		return ""
+	}
+	return namedOwner(tv.Type)
+}
+
+// isMutexType reports whether t is sync.Mutex or sync.RWMutex
+// (possibly behind a pointer).
+func isMutexType(t types.Type) bool {
+	if p, isPtr := t.(*types.Pointer); isPtr {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	tn := named.Obj()
+	return tn.Pkg() != nil && tn.Pkg().Path() == "sync" &&
+		(tn.Name() == "Mutex" || tn.Name() == "RWMutex")
+}
+
+// guardNames renders a guard set (or, with nil gs, nothing) for
+// diagnostics, trimming the shared owner prefix for readability.
+func guardNames(gs map[string]bool, owner string) string {
+	var names []string
+	for g := range gs {
+		names = append(names, strings.TrimPrefix(g, ownerPkgPrefix(owner)))
+	}
+	sort.Strings(names)
+	return strings.Join(names, " or ")
+}
+
+func shortLockList(locks []string, owner string) string {
+	var names []string
+	for _, l := range locks {
+		names = append(names, strings.TrimPrefix(l, ownerPkgPrefix(owner)))
+	}
+	return strings.Join(names, " and ")
+}
+
+// ownerPkgPrefix strips pkg path from pkg.Type, leaving "Type." as the
+// prefix diagnostics keep.
+func ownerPkgPrefix(owner string) string {
+	if i := strings.LastIndex(owner, "."); i >= 0 {
+		return owner[:i+1]
+	}
+	return ""
+}

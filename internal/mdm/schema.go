@@ -30,6 +30,8 @@ func (a AggKind) String() string {
 
 // Init lifts a base measure value into the aggregate domain: COUNT of a
 // single fact is 1, every other function starts from the value itself.
+//
+//dimred:aggregate
 func (a AggKind) Init(x float64) float64 {
 	if a == AggCount {
 		return 1
@@ -39,7 +41,10 @@ func (a AggKind) Init(x float64) float64 {
 
 // Merge combines two partial aggregates. Distributivity means repeated
 // merging in any association order yields the same result, which the
-// property tests verify.
+// property tests verify; the purity analyzer statically holds Merge (and
+// everything it calls) to the referential-transparency precondition.
+//
+//dimred:aggregate
 func (a AggKind) Merge(x, y float64) float64 {
 	switch a {
 	case AggSum, AggCount:

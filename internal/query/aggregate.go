@@ -94,6 +94,8 @@ func Project(mo *mdm.MO, dimNames, measureNames []string) (*mdm.MO, error) {
 // every value of the cell, where values above the requested granularity
 // must additionally be mapped to directly (so a fact is aggregated into
 // exactly one group).
+//
+//dimred:aggregate
 func GroupHigh(mo *mdm.MO, cell []mdm.ValueID, target mdm.Granularity) []mdm.FactID {
 	schema := mo.Schema()
 	var out []mdm.FactID
@@ -133,6 +135,8 @@ func GroupHigh(mo *mdm.MO, cell []mdm.ValueID, target mdm.Granularity) []mdm.Fac
 // its insert floors are raised to the result granularity (the formal
 // definition restricts the schema to a subdimension, which
 // mdm.Dimension.Subdimension materializes for callers that need it).
+//
+//dimred:aggregate
 func Aggregate(mo *mdm.MO, target mdm.Granularity, approach AggApproach) (*mdm.MO, error) {
 	schema := mo.Schema()
 	if len(target) != len(schema.Dims) {

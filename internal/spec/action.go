@@ -483,6 +483,13 @@ func (a *Action) testValue(tst test, dim *mdm.Dimension, v mdm.ValueID, t caltim
 		}
 		return false
 	}
+	return a.testPlainValue(tst, dim, v)
+}
+
+// testPlainValue evaluates a non-time value test. It exists apart from
+// testValue so that NOW-independent callers (leafSetFor) need not
+// conjure an evaluation time they do not have.
+func (a *Action) testPlainValue(tst test, dim *mdm.Dimension, v mdm.ValueID) bool {
 	name := dim.ValueName(v)
 	switch tst.op {
 	case expr.OpIn, expr.OpNotIn:
@@ -584,7 +591,7 @@ func (a *Action) leafSetFor(tst test, dim *mdm.Dimension) *prover.Set {
 		if anc == mdm.NoValue {
 			continue
 		}
-		if a.testValue(tst, dim, anc, 0) {
+		if a.testPlainValue(tst, dim, anc) {
 			set.Add(idx)
 		}
 	}

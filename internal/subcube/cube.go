@@ -223,7 +223,11 @@ func (cs *CubeSet) InsertMO(mo *mdm.MO) error {
 	return nil
 }
 
-// mergeInto adds (or merges) a row at the cube's granularity.
+// mergeInto adds (or merges) a row at the cube's granularity. It is the
+// physical Group_high fold: sync order must not affect the result, so it
+// carries the distributivity obligation.
+//
+//dimred:aggregate
 func (cs *CubeSet) mergeInto(c *Cube, refs []mdm.ValueID, meas []float64, base int64) error {
 	cs.extendZoneMap(c, refs)
 	_, key := cellKey(nil, refs)

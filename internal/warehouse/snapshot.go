@@ -225,7 +225,12 @@ func Load(in io.Reader) (*Warehouse, *LoadedDims, error) {
 			return nil, nil, err
 		}
 	}
+	// loaded is mu-guarded everywhere else; Load holds the lock too,
+	// even though w has not escaped yet, so the discipline is uniform
+	// (and lockfield-checkable) rather than "safe by publication".
+	w.mu.Lock()
 	w.loaded = sf.Loaded
+	w.mu.Unlock()
 	// Seed the cumulative metrics from the snapshot's bookkeeping so
 	// Metrics() agrees with Stats() after a restore.
 	w.met.FactsLoaded.Add(sf.Loaded)
