@@ -1,0 +1,35 @@
+package lint_test
+
+import (
+	"testing"
+
+	"dimred/internal/lint"
+	"dimred/internal/lint/linttest"
+)
+
+func TestNowflowDeferDup(t *testing.T) {
+	diags := linttest.Diagnostics(t, []*lint.Analyzer{lint.NewNowflow(lint.DefaultNowflowRestricted)}, map[string]string{
+		"internal/caltime/caltime.go": `package caltime
+
+type Day int32
+
+func Date(y, m, d int) Day { return Day(y*366 + m*31 + d) }
+`,
+		"internal/spec/s.go": `package spec
+
+import "lintfix/internal/caltime"
+
+func Eval(t caltime.Day) {}
+
+func Bad() {
+	defer Eval(caltime.Date(2020, 1, 2))
+}
+`,
+	})
+	for _, d := range diags {
+		t.Logf("%s", d)
+	}
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want 1", len(diags))
+	}
+}
