@@ -355,6 +355,63 @@ func BenchmarkS4_BulkLoadAndSync(b *testing.B) {
 	b.ReportMetric(float64(len(rows)), "facts/op")
 }
 
+// --- P-series: compiled specexec programs vs interpreted evaluation ---
+
+// benchSync runs one synchronization round over the 180×100 click
+// workload on either evaluation path; setup (layout + bulk insert) is
+// excluded from the timer.
+func benchSync(b *testing.B, interpreted bool) {
+	obj, env := benchClicks(b, 180, 100)
+	s := benchClickSpec(b, env)
+	at := caltime.Date(2000, 9, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		cs, err := subcube.New(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cs.SetInterpreted(interpreted)
+		if err := cs.InsertMO(obj.MO); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if _, err := cs.Sync(at); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(obj.MO.Len()), "rows/op")
+}
+
+func BenchmarkSyncInterpreted(b *testing.B) { benchSync(b, true) }
+func BenchmarkSyncCompiled(b *testing.B)    { benchSync(b, false) }
+
+// benchReduce runs the Definition 2 reduction over the 120×50 click
+// workload on either evaluation path.
+func benchReduce(b *testing.B, interpreted bool) {
+	obj, env := benchClicks(b, 120, 50)
+	s := benchClickSpec(b, env)
+	at := caltime.Date(2000, 9, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		if interpreted {
+			_, err = core.ReduceInterpreted(s, obj.MO, at)
+		} else {
+			_, err = core.Reduce(s, obj.MO, at)
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(obj.MO.Len()), "rows/op")
+}
+
+func BenchmarkReduceInterpreted(b *testing.B) { benchReduce(b, true) }
+func BenchmarkReduceCompiled(b *testing.B)    { benchReduce(b, false) }
+
 // BenchmarkS5_ReduceVsIncremental compares the functional Definition 2
 // reduction against incremental subcube synchronization on the same
 // stream.

@@ -1,0 +1,150 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+
+	"dimred/internal/caltime"
+	"dimred/internal/core"
+	"dimred/internal/spec"
+	"dimred/internal/subcube"
+	"dimred/internal/workload"
+)
+
+// benchRow is one line of the committed benchmark artifact
+// (BENCH_pr4.json): an operation on one evaluation path, with the
+// standard go-bench figures plus row throughput. The interpreted path
+// is the pre-specexec implementation, so each interpreted/compiled
+// pair is a before/after reading at identical workload scale.
+type benchRow struct {
+	Op          string  `json:"op"`
+	Path        string  `json:"path"` // "interpreted" (before) or "compiled" (after)
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"b_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	Rows        int     `json:"rows"`
+	RowsPerSec  float64 `json:"rows_per_sec"`
+}
+
+// runBenchSuite measures the compiled-vs-interpreted pairs at the
+// bench_test.go workload scales (Sync: 180 days × 100 clicks/day;
+// Reduce: 120 × 50) and writes the results as JSON to outPath.
+func runBenchSuite(outPath string) error {
+	syncObj, syncSpec, err := benchWorkload(180, 100)
+	if err != nil {
+		return err
+	}
+	redObj, redSpec, err := benchWorkload(120, 50)
+	if err != nil {
+		return err
+	}
+	at := caltime.Date(2000, 9, 1)
+
+	syncBench := func(interpreted bool) func(b *testing.B) {
+		return func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				cs, err := subcube.New(syncSpec)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cs.SetInterpreted(interpreted)
+				if err := cs.InsertMO(syncObj.MO); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				if _, err := cs.Sync(at); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	reduceBench := func(interpreted bool) func(b *testing.B) {
+		return func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				var err error
+				if interpreted {
+					_, err = core.ReduceInterpreted(redSpec, redObj.MO, at)
+				} else {
+					_, err = core.Reduce(redSpec, redObj.MO, at)
+				}
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+
+	rows := []benchRow{
+		measure("Sync", "interpreted", syncObj.MO.Len(), syncBench(true)),
+		measure("Sync", "compiled", syncObj.MO.Len(), syncBench(false)),
+		measure("Reduce", "interpreted", redObj.MO.Len(), reduceBench(true)),
+		measure("Reduce", "compiled", redObj.MO.Len(), reduceBench(false)),
+	}
+
+	out, err := json.MarshalIndent(rows, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if outPath == "-" {
+		_, err = os.Stdout.Write(out)
+		return err
+	}
+	if err := os.WriteFile(outPath, out, 0o644); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		fmt.Printf("%-7s %-11s %12.0f ns/op %10d B/op %8d allocs/op %12.0f rows/s\n",
+			r.Op, r.Path, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp, r.RowsPerSec)
+	}
+	fmt.Printf("wrote %s\n", outPath)
+	return nil
+}
+
+// benchWorkload builds the click workload and the two-stage
+// aggregation spec the root benchmarks use.
+func benchWorkload(days, perDay int) (*workload.ClickObject, *spec.Spec, error) {
+	obj, err := workload.BuildClickMO(workload.ClickConfig{
+		Seed: 1, Start: caltime.Date(2000, 1, 1), Days: days,
+		ClicksPerDay: perDay, Domains: 30, URLsPerDomain: 8,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	env, err := spec.NewEnv(obj.Schema, "Time", obj.Time)
+	if err != nil {
+		return nil, nil, err
+	}
+	s, err := spec.New(env,
+		spec.MustCompileString("m", `aggregate [Time.month, URL.domain] where Time.month <= NOW - 2 months`, env),
+		spec.MustCompileString("q", `aggregate [Time.quarter, URL.domain_grp] where Time.quarter <= NOW - 4 quarters`, env))
+	if err != nil {
+		return nil, nil, err
+	}
+	return obj, s, nil
+}
+
+func measure(op, path string, rows int, fn func(b *testing.B)) benchRow {
+	res := testing.Benchmark(fn)
+	ns := float64(res.NsPerOp())
+	var rps float64
+	if ns > 0 {
+		rps = float64(rows) * 1e9 / ns
+	}
+	return benchRow{
+		Op:          op,
+		Path:        path,
+		Iterations:  res.N,
+		NsPerOp:     ns,
+		BytesPerOp:  res.AllocedBytesPerOp(),
+		AllocsPerOp: res.AllocsPerOp(),
+		Rows:        rows,
+		RowsPerSec:  rps,
+	}
+}

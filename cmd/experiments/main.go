@@ -50,8 +50,16 @@ var experiments = []experiment{
 func main() {
 	exp := flag.String("exp", "", "run a single experiment by id (e.g. E06)")
 	list := flag.Bool("list", false, "list experiments")
+	bench := flag.String("bench", "", "run the compiled-vs-interpreted benchmark suite and write JSON to the given path (- for stdout)")
 	flag.Parse()
 
+	if *bench != "" {
+		if err := runBenchSuite(*bench); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *list {
 		for _, e := range experiments {
 			fmt.Printf("%-4s %s\n", e.id, e.title)

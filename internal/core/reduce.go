@@ -19,6 +19,7 @@ import (
 	"dimred/internal/caltime"
 	"dimred/internal/mdm"
 	"dimred/internal/spec"
+	"dimred/internal/specexec"
 )
 
 // SpecGran returns Spec_gran(f, t) (Eq. 11): the set of granularities
@@ -91,8 +92,27 @@ type Result struct {
 // The schema and dimensions are unchanged, so new facts conforming to
 // the original schema may still be inserted afterwards.
 //
+// The specification is compiled to a specexec program first, so the
+// per-fact work is a bitset probe pass instead of the double predicate
+// interpretation of SpecGran followed by AggLevel; ReduceInterpreted
+// keeps the uncompiled evaluation for differential testing and
+// benchmark baselines. Both produce identical results.
+//
 //dimred:aggregate
 func Reduce(s *spec.Spec, mo *mdm.MO, t caltime.Day) (*Result, error) {
+	return reduceWith(s, mo, t, specexec.Compile(s).At(t))
+}
+
+// ReduceInterpreted is Reduce on the uncompiled evaluation path: every
+// action predicate is re-interpreted per fact (SpecGran, then AggLevel
+// over the same actions).
+//
+//dimred:aggregate
+func ReduceInterpreted(s *spec.Spec, mo *mdm.MO, t caltime.Day) (*Result, error) {
+	return reduceWith(s, mo, t, nil)
+}
+
+func reduceWith(s *spec.Spec, mo *mdm.MO, t caltime.Day, router *specexec.Router) (*Result, error) {
 	schema := s.Env().Schema
 	type group struct {
 		cell    []mdm.ValueID
@@ -105,26 +125,82 @@ func Reduce(s *spec.Spec, mo *mdm.MO, t caltime.Day) (*Result, error) {
 	order := make([]string, 0)
 	deleted := make(map[string][]mdm.FactID)
 
+	n := schema.NumDims()
 	var keyBuf []byte
+	var satScratch []*spec.Action
+	var granScratch []mdm.Granularity
+	cellScratch := make([]mdm.ValueID, n)
+	levelScratch := make(mdm.Granularity, n)
+	respScratch := make([]*spec.Action, n)
 	for f := 0; f < mo.Len(); f++ {
 		fid := mdm.FactID(f)
-		if del := s.DeletedBy(mo.Refs(fid), t); del != nil {
+		refs := mo.Refs(fid)
+		var del *spec.Action
+		if router != nil {
+			del = router.DeletedBy(refs)
+		} else {
+			del = s.DeletedBy(refs, t)
+		}
+		if del != nil {
 			deleted[del.Name()] = append(deleted[del.Name()], fid)
 			continue
 		}
-		cell, _, resp, err := Cell(s, mo, fid, t)
-		if err != nil {
-			return nil, err
+		var cell []mdm.ValueID
+		var resp []*spec.Action
+		if router != nil {
+			// One probe pass yields the satisfied actions; Spec_gran,
+			// the maximum granularity and per-dimension responsibility
+			// all derive from it without re-evaluating any predicate.
+			satScratch = router.AppendSatisfied(satScratch[:0], refs)
+			granScratch = append(granScratch[:0], mo.Gran(fid))
+			for _, a := range satScratch {
+				granScratch = append(granScratch, a.Target())
+			}
+			max, err := schema.MaxGranularity(granScratch)
+			if err != nil {
+				return nil, fmt.Errorf("core: Cell(%s): %w", mo.Name(fid), err)
+			}
+			for i, d := range schema.Dims {
+				v := d.AncestorAt(refs[i], max[i])
+				if v == mdm.NoValue {
+					return nil, fmt.Errorf("core: Cell(%s): value %s has no ancestor in category %s",
+						mo.Name(fid), d.ValueName(refs[i]), d.Category(max[i]).Name)
+				}
+				cellScratch[i] = v
+			}
+			for i, d := range schema.Dims {
+				levelScratch[i] = d.CategoryOf(refs[i])
+				respScratch[i] = nil
+			}
+			for _, a := range satScratch {
+				for i, d := range schema.Dims {
+					if d.CatLE(levelScratch[i], a.TargetIn(i)) && levelScratch[i] != a.TargetIn(i) {
+						levelScratch[i] = a.TargetIn(i)
+						respScratch[i] = a
+					}
+				}
+			}
+			cell, resp = cellScratch, respScratch
+		} else {
+			var err error
+			cell, _, resp, err = Cell(s, mo, fid, t)
+			if err != nil {
+				return nil, err
+			}
 		}
 		keyBuf = keyBuf[:0]
 		for _, v := range cell {
 			keyBuf = append(keyBuf,
 				byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
 		}
-		key := string(keyBuf)
-		g, ok := groups[key]
+		g, ok := groups[string(keyBuf)]
 		if !ok {
-			g = &group{cell: cell, meas: make([]float64, len(schema.Measures)), resp: resp}
+			key := string(keyBuf)
+			g = &group{
+				cell: append([]mdm.ValueID(nil), cell...),
+				meas: make([]float64, len(schema.Measures)),
+				resp: append([]*spec.Action(nil), resp...),
+			}
 			for j := range schema.Measures {
 				g.meas[j] = schema.Measures[j].Agg.Init(mo.Measure(fid, j))
 				if schema.Measures[j].Agg == mdm.AggCount {
@@ -147,11 +223,11 @@ func Reduce(s *spec.Spec, mo *mdm.MO, t caltime.Day) (*Result, error) {
 		}
 		g.base += mo.BaseCount(fid)
 		g.sources = append(g.sources, fid)
-		// Keep the responsibility that raised levels highest.
+		// Keep the responsibility that raised levels highest: per
+		// dimension, prefer the action with the higher target category,
+		// breaking ties deterministically by action name.
 		for i := range resp {
-			if g.resp[i] == nil {
-				g.resp[i] = resp[i]
-			}
+			g.resp[i] = higherResp(schema, i, g.resp[i], resp[i])
 		}
 	}
 
@@ -167,6 +243,32 @@ func Reduce(s *spec.Spec, mo *mdm.MO, t caltime.Day) (*Result, error) {
 		res.Prov[nf] = Provenance{Sources: g.sources, Responsible: g.resp}
 	}
 	return res, nil
+}
+
+// higherResp merges two candidate responsible actions for dimension i:
+// the one aggregating the dimension to the higher target category wins;
+// equal (or incomparable) targets tie-break by action name so the
+// merged provenance does not depend on fact order.
+func higherResp(schema *mdm.Schema, i int, cur, cand *spec.Action) *spec.Action {
+	if cand == nil {
+		return cur
+	}
+	if cur == nil {
+		return cand
+	}
+	cc, nc := cur.TargetIn(i), cand.TargetIn(i)
+	d := schema.Dims[i]
+	switch {
+	case cc == nc || !d.CatComparable(cc, nc):
+		if cand.Name() < cur.Name() {
+			return cand
+		}
+		return cur
+	case d.CatLE(cc, nc):
+		return cand
+	default:
+		return cur
+	}
 }
 
 // mergedName derives the display name of a reduced fact from its

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"dimred/internal/caltime"
+	"dimred/internal/mdm"
+	"dimred/internal/spec"
+	"dimred/internal/workload"
+)
+
+func respTestEnv(t *testing.T) (*workload.ClickObject, *spec.Env) {
+	t.Helper()
+	obj, err := workload.BuildClickMO(workload.ClickConfig{
+		Seed: 61, Start: caltime.Date(2000, 1, 1), Days: 100,
+		ClicksPerDay: 6, Domains: 8, URLsPerDomain: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := spec.NewEnv(obj.Schema, "Time", obj.Time)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return obj, env
+}
+
+// TestHigherRespMerge pins the responsibility-merge rule: when facts
+// with different responsible actions land in one reduced group, the
+// action aggregating the dimension to the higher target category wins,
+// and equal targets tie-break by action name — never by fact order.
+func TestHigherRespMerge(t *testing.T) {
+	_, env := respTestEnv(t)
+	schema := env.Schema
+	month := spec.MustCompileString("bm", `aggregate [Time.month, URL.domain] where Time.month <= NOW - 2 months`, env)
+	quarter := spec.MustCompileString("aq", `aggregate [Time.quarter, URL.domain] where Time.quarter <= NOW - 4 quarters`, env)
+	monthToo := spec.MustCompileString("am", `aggregate [Time.month, URL.domain] where Time.month <= NOW - 3 months`, env)
+
+	if got := higherResp(schema, 0, nil, nil); got != nil {
+		t.Fatalf("higherResp(nil, nil) = %v, want nil", got)
+	}
+	if got := higherResp(schema, 0, nil, month); got != month {
+		t.Fatalf("higherResp(nil, bm) = %v, want bm", got)
+	}
+	if got := higherResp(schema, 0, month, nil); got != month {
+		t.Fatalf("higherResp(bm, nil) = %v, want bm", got)
+	}
+	// Higher target category wins in either argument order.
+	if got := higherResp(schema, 0, month, quarter); got != quarter {
+		t.Fatalf("higherResp(bm, aq) = %s, want aq", got.Name())
+	}
+	if got := higherResp(schema, 0, quarter, month); got != quarter {
+		t.Fatalf("higherResp(aq, bm) = %s, want aq", got.Name())
+	}
+	// Equal targets: the lexicographically smaller name wins both ways.
+	if got := higherResp(schema, 0, month, monthToo); got != monthToo {
+		t.Fatalf("higherResp(bm, am) = %s, want am", got.Name())
+	}
+	if got := higherResp(schema, 0, monthToo, month); got != monthToo {
+		t.Fatalf("higherResp(am, bm) = %s, want am", got.Name())
+	}
+}
+
+// TestReduceCompiledMatchesInterpreted: the compiled Reduce and
+// ReduceInterpreted must agree exactly — reduced facts (cells,
+// measures, base counts, names), per-fact provenance and the deleted
+// sets — across synchronization days covering aggregation and
+// deletion.
+func TestReduceCompiledMatchesInterpreted(t *testing.T) {
+	obj, env := respTestEnv(t)
+	s, err := spec.New(env,
+		spec.MustCompileString("m", `aggregate [Time.month, URL.domain] where Time.month <= NOW - 2 months`, env),
+		spec.MustCompileString("q", `aggregate [Time.quarter, URL.domain_grp] where Time.quarter <= NOW - 4 quarters`, env),
+		spec.MustCompileString("del", `delete where Time.year <= NOW - 2 years`, env))
+	if err != nil {
+		t.Fatal(err)
+	}
+	days := []caltime.Day{
+		caltime.Date(2000, 2, 1), caltime.Date(2000, 9, 1),
+		caltime.Date(2001, 3, 1), caltime.Date(2002, 7, 1), caltime.Date(2003, 1, 2),
+	}
+	sawDeleted := false
+	for _, at := range days {
+		got, err := Reduce(s, obj.MO, at)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := ReduceInterpreted(s, obj.MO, at)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.MO.Len() != want.MO.Len() {
+			t.Fatalf("at %v: compiled %d facts, interpreted %d", at, got.MO.Len(), want.MO.Len())
+		}
+		for f := 0; f < got.MO.Len(); f++ {
+			fid := mdm.FactID(f)
+			if fmt.Sprint(got.MO.Refs(fid)) != fmt.Sprint(want.MO.Refs(fid)) ||
+				fmt.Sprint(got.MO.Measures(fid)) != fmt.Sprint(want.MO.Measures(fid)) ||
+				got.MO.BaseCount(fid) != want.MO.BaseCount(fid) ||
+				got.MO.Name(fid) != want.MO.Name(fid) {
+				t.Fatalf("at %v fact %d: compiled (%v %v %d %q) != interpreted (%v %v %d %q)", at, f,
+					got.MO.Refs(fid), got.MO.Measures(fid), got.MO.BaseCount(fid), got.MO.Name(fid),
+					want.MO.Refs(fid), want.MO.Measures(fid), want.MO.BaseCount(fid), want.MO.Name(fid))
+			}
+			if !reflect.DeepEqual(got.Prov[fid], want.Prov[fid]) {
+				t.Fatalf("at %v fact %d: provenance diverges:\ncompiled:    %+v\ninterpreted: %+v",
+					at, f, got.Prov[fid], want.Prov[fid])
+			}
+		}
+		if !reflect.DeepEqual(got.Deleted, want.Deleted) {
+			t.Fatalf("at %v: deleted sets diverge: compiled %v, interpreted %v", at, got.Deleted, want.Deleted)
+		}
+		if len(got.Deleted) > 0 {
+			sawDeleted = true
+		}
+	}
+	if !sawDeleted {
+		t.Fatal("deletion window never fired; widen the day ladder")
+	}
+}

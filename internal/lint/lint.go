@@ -76,8 +76,10 @@ type Analyzer struct {
 }
 
 // Run executes the analyzers over the loaded units, drops findings
-// suppressed by //dimred:allow comments, and returns the rest sorted
-// by position.
+// suppressed by //dimred:allow comments, deduplicates identical
+// findings (the CFG splices deferred calls into a dedicated defers
+// block, so a sink inside a defer is visited twice), and returns the
+// rest sorted by position.
 func Run(units []*Unit, analyzers []*Analyzer) []Diagnostic {
 	allows := collectAllows(units)
 	var out []Diagnostic
@@ -95,11 +97,14 @@ func Run(units []*Unit, analyzers []*Analyzer) []Diagnostic {
 		}
 		out = append(out, ds...)
 	}
+	seen := make(map[Diagnostic]bool, len(out))
 	kept := out[:0]
 	for _, d := range out {
-		if !allows.covers(d) {
-			kept = append(kept, d)
+		if seen[d] || allows.covers(d) {
+			continue
 		}
+		seen[d] = true
+		kept = append(kept, d)
 	}
 	sort.Slice(kept, func(i, j int) bool {
 		a, b := kept[i], kept[j]

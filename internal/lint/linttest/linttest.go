@@ -25,12 +25,21 @@ var wantRE = regexp.MustCompile(`//\s*want\s+(.*)$`)
 // quotedRE extracts the individual quoted patterns of a want clause.
 var quotedRE = regexp.MustCompile(`"(?:[^"\\]|\\.)*"`)
 
-// Run writes files (path → content, relative to the module root) into
-// a fresh module, runs the analyzers over ./..., and reports any
-// mismatch between diagnostics and want expectations as test errors.
-// A go.mod declaring module "lintfix" is supplied automatically unless
-// files contains one.
-func Run(t *testing.T, analyzers []*lint.Analyzer, files map[string]string) {
+// Diagnostics writes files (path → content, relative to the module
+// root) into a fresh module, runs the analyzers over ./..., and
+// returns the raw diagnostics without want-checking — for tests that
+// assert on counts or messages directly. A go.mod declaring module
+// "lintfix" is supplied automatically unless files contains one.
+func Diagnostics(t *testing.T, analyzers []*lint.Analyzer, files map[string]string) []lint.Diagnostic {
+	t.Helper()
+	diags, _ := diagnose(t, analyzers, files)
+	return diags
+}
+
+// diagnose materializes the scratch module, loads it and runs the
+// analyzers, returning the diagnostics and the (symlink-resolved)
+// module root.
+func diagnose(t *testing.T, analyzers []*lint.Analyzer, files map[string]string) ([]lint.Diagnostic, string) {
 	t.Helper()
 	dir := t.TempDir()
 	// go list reports build-cache-resolved, symlink-free paths.
@@ -56,7 +65,15 @@ func Run(t *testing.T, analyzers []*lint.Analyzer, files map[string]string) {
 	if err != nil {
 		t.Fatalf("load: %v", err)
 	}
-	diags := lint.Run(units, analyzers)
+	return lint.Run(units, analyzers), dir
+}
+
+// Run is Diagnostics plus want-checking: it reports any mismatch
+// between the produced diagnostics and the `// want "regex"`
+// expectations embedded in the sources as test errors.
+func Run(t *testing.T, analyzers []*lint.Analyzer, files map[string]string) {
+	t.Helper()
+	diags, dir := diagnose(t, analyzers, files)
 
 	type want struct {
 		re      *regexp.Regexp

@@ -13,6 +13,7 @@ import (
 // is *the* NOW of Definitions 2–4 and must be threaded explicitly.
 var DefaultNowflowRestricted = []string{
 	"internal/spec",
+	"internal/specexec",
 	"internal/sched",
 	"internal/subcube",
 }

@@ -14,6 +14,7 @@ import (
 var DefaultWallclockRestricted = []string{
 	"internal/core",
 	"internal/spec",
+	"internal/specexec",
 	"internal/expr",
 	"internal/mdm",
 	"internal/query",

@@ -34,6 +34,11 @@ type Metrics struct {
 	SyncDuration  Histogram // wall time per synchronization round
 	QueryDuration Histogram // wall time per cube-set query evaluation
 
+	// Compiled evaluation (specexec).
+	ProgramCompiles Counter // spec→bitset program compilations
+	ProgramProbes   Counter // per-row compiled router probes
+	BitsetBytes     Gauge   // bytes held by the last compiled program's bitsets
+
 	// Query path.
 	Queries        Counter // cube-set evaluations
 	CubesConsulted Counter // subcubes scanned by queries
@@ -83,6 +88,10 @@ type MetricsSnapshot struct {
 	Compactions  int64
 	SpecRebuilds int64
 
+	ProgramCompiles int64
+	ProgramProbes   int64
+	BitsetBytes     int64
+
 	Queries        int64
 	CubesConsulted int64
 	CubesPruned    int64
@@ -115,6 +124,10 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		FactsDeleted: m.FactsDeleted.Load(),
 		Compactions:  m.Compactions.Load(),
 		SpecRebuilds: m.SpecRebuilds.Load(),
+
+		ProgramCompiles: m.ProgramCompiles.Load(),
+		ProgramProbes:   m.ProgramProbes.Load(),
+		BitsetBytes:     m.BitsetBytes.Load(),
 
 		Queries:        m.Queries.Load(),
 		CubesConsulted: m.CubesConsulted.Load(),
@@ -150,6 +163,8 @@ func (s MetricsSnapshot) Sub(prev MetricsSnapshot) MetricsSnapshot {
 	d.FactsDeleted -= prev.FactsDeleted
 	d.Compactions -= prev.Compactions
 	d.SpecRebuilds -= prev.SpecRebuilds
+	d.ProgramCompiles -= prev.ProgramCompiles
+	d.ProgramProbes -= prev.ProgramProbes
 	d.Queries -= prev.Queries
 	d.CubesConsulted -= prev.CubesConsulted
 	d.CubesPruned -= prev.CubesPruned
@@ -177,6 +192,9 @@ func (s MetricsSnapshot) String() string {
 	row(&b, "facts deleted", s.FactsDeleted)
 	row(&b, "compactions", s.Compactions)
 	row(&b, "spec rebuilds", s.SpecRebuilds)
+	row(&b, "program compiles", s.ProgramCompiles)
+	row(&b, "program probes", s.ProgramProbes)
+	row(&b, "program bitset bytes", s.BitsetBytes)
 	padLabel(&b, "sync latency")
 	b.WriteString(s.SyncDuration.String())
 	b.WriteByte('\n')

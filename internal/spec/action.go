@@ -428,25 +428,52 @@ func (a *Action) disjunctSatisfied(d disjunct, cell []mdm.ValueID, t caltime.Day
 		case -2: // constant false
 			return false
 		}
-		dim := a.env.Schema.Dims[tst.dim]
-		v := cell[tst.dim]
-		anc := dim.AncestorAt(v, tst.cat)
-		if anc != mdm.NoValue {
-			if !a.testValue(tst, dim, anc, t) {
-				return false
-			}
-			continue
-		}
-		// Cell value is above the constrained category: conservative
-		// evaluation over its populated descendants.
-		descendants := dim.DrillDown(v, tst.cat)
-		if len(descendants) == 0 {
+		if !a.cellValueVerdict(tst, cell[tst.dim], t) {
 			return false
 		}
-		for _, w := range descendants {
-			if !a.testValue(tst, dim, w, t) {
-				return false
-			}
+	}
+	return true
+}
+
+// cellValueVerdict evaluates one test on the cell's value for the
+// test's dimension: the value's ancestor at the constrained category
+// when one exists, otherwise the conservative evaluation over its
+// populated descendants (every descendant must satisfy the test, and
+// there must be at least one).
+func (a *Action) cellValueVerdict(tst test, v mdm.ValueID, t caltime.Day) bool {
+	dim := a.env.Schema.Dims[tst.dim]
+	anc := dim.AncestorAt(v, tst.cat)
+	if anc != mdm.NoValue {
+		return a.testValue(tst, dim, anc, t)
+	}
+	descendants := dim.DrillDown(v, tst.cat)
+	if len(descendants) == 0 {
+		return false
+	}
+	for _, w := range descendants {
+		if !a.testValue(tst, dim, w, t) {
+			return false
+		}
+	}
+	return true
+}
+
+// plainCellValueVerdict is cellValueVerdict for non-time tests. It
+// exists apart so that compile-time callers (the specexec bitset
+// compiler) need not conjure an evaluation time they do not have.
+func (a *Action) plainCellValueVerdict(tst test, v mdm.ValueID) bool {
+	dim := a.env.Schema.Dims[tst.dim]
+	anc := dim.AncestorAt(v, tst.cat)
+	if anc != mdm.NoValue {
+		return a.testPlainValue(tst, dim, anc)
+	}
+	descendants := dim.DrillDown(v, tst.cat)
+	if len(descendants) == 0 {
+		return false
+	}
+	for _, w := range descendants {
+		if !a.testPlainValue(tst, dim, w) {
+			return false
 		}
 	}
 	return true
@@ -524,6 +551,65 @@ func (a *Action) testPlainValue(tst test, dim *mdm.Dimension, v mdm.ValueID) boo
 		return lhs > rhsOrd
 	}
 	return false
+}
+
+// --- Compiler views -------------------------------------------------
+//
+// The methods below expose the action's compiled DNF structure to the
+// specexec bitset compiler without leaking the test representation: the
+// compiler asks for each test's shape (dimension, time-ness, constant
+// sentinels) and then materializes the per-value verdict — including
+// the conservative descendant evaluation of SatisfiedBy — into bitsets
+// over the dimension's value space.
+
+// NumDisjuncts returns the number of DNF disjuncts of the predicate.
+func (a *Action) NumDisjuncts() int { return len(a.disjuncts) }
+
+// DisjunctNever reports whether disjunct i is unsatisfiable (it
+// contained the constant false).
+func (a *Action) DisjunctNever(i int) bool { return a.disjuncts[i].never }
+
+// NumTests returns the number of compiled tests in disjunct i.
+func (a *Action) NumTests(i int) int { return len(a.disjuncts[i].tests) }
+
+// TestShape describes test j of disjunct i: the constrained dimension
+// index (TestConstTrue / TestConstFalse for the constant sentinels) and
+// whether the test is a time test (whose right-hand side may depend on
+// NOW and must be re-resolved per evaluation day).
+func (a *Action) TestShape(i, j int) (dim int, isTime bool) {
+	tst := a.disjuncts[i].tests[j]
+	return tst.dim, tst.isTime
+}
+
+// Sentinel dimension indices returned by TestShape for the constant
+// atoms true and false.
+const (
+	TestConstTrue  = -1
+	TestConstFalse = -2
+)
+
+// PlainTestVerdict evaluates the non-time test j of disjunct i on a
+// single dimension value v (of the test's dimension, at any category),
+// with the conservative descendant evaluation of SatisfiedBy. It
+// panics on time or constant tests — their verdicts depend on the
+// evaluation day (TimeTestVerdict) or on nothing at all.
+func (a *Action) PlainTestVerdict(i, j int, v mdm.ValueID) bool {
+	tst := a.disjuncts[i].tests[j]
+	if tst.dim < 0 || tst.isTime {
+		panic("spec: PlainTestVerdict on a time or constant test")
+	}
+	return a.plainCellValueVerdict(tst, v)
+}
+
+// TimeTestVerdict evaluates the time test j of disjunct i on a single
+// dimension value v with NOW bound to t, with the conservative
+// descendant evaluation of SatisfiedBy. It panics on non-time tests.
+func (a *Action) TimeTestVerdict(i, j int, v mdm.ValueID, t caltime.Day) bool {
+	tst := a.disjuncts[i].tests[j]
+	if tst.dim < 0 || !tst.isTime {
+		panic("spec: TimeTestVerdict on a non-time test")
+	}
+	return a.cellValueVerdict(tst, v, t)
 }
 
 // Regions materializes the action's DNF disjuncts as decision-procedure

@@ -20,6 +20,7 @@ import (
 	"dimred/internal/mdm"
 	"dimred/internal/obs"
 	"dimred/internal/spec"
+	"dimred/internal/specexec"
 	"dimred/internal/storage"
 )
 
@@ -33,7 +34,7 @@ type Cube struct {
 	gran    mdm.Granularity
 	actions []*spec.Action // actions targeting this granularity (empty for the bottom cube)
 	store   *storage.Store
-	index   map[string]storage.RowID
+	index   *cellIndex
 	parents []*Cube
 
 	dayLo, dayHi caltime.Day
@@ -88,7 +89,17 @@ type CubeSet struct {
 	// met is the engine metric set; it survives ApplySpec rebuilds so
 	// counters are cumulative over the cube set's lifetime.
 	met *obs.Metrics
+	// interpret forces the uncompiled evaluation path (per-row predicate
+	// interpretation and serial apply). The differential tests and the
+	// before/after benchmarks flip it; production leaves it false.
+	interpret bool
 }
+
+// SetInterpreted selects the interpreted evaluation path (true) or the
+// compiled specexec path (false, the default) for Sync, ApplySpec and
+// unsynchronized query views. The two paths compute identical results;
+// the flag exists so tests can prove it and benchmarks can price it.
+func (cs *CubeSet) SetInterpreted(v bool) { cs.interpret = v }
 
 // Metrics returns the cube set's metric set; the scheduler and the
 // warehouse facade record into the same instance.
@@ -103,7 +114,7 @@ func New(sp *spec.Spec) (*CubeSet, error) {
 	cs := &CubeSet{sp: sp, env: env, byGran: make(map[string]*Cube), met: obs.NewMetrics()}
 	layout := storage.Layout{DimCols: env.Schema.NumDims(), MeasCols: len(env.Schema.Measures)}
 
-	bottom := &Cube{id: 0, gran: env.Schema.BottomGranularity(), store: storage.New(layout), index: make(map[string]storage.RowID)}
+	bottom := &Cube{id: 0, gran: env.Schema.BottomGranularity(), store: storage.New(layout), index: newCellIndex(layout.DimCols)}
 	cs.cubes = append(cs.cubes, bottom)
 	cs.byGran[granKey(bottom.gran)] = bottom
 
@@ -114,7 +125,7 @@ func New(sp *spec.Spec) (*CubeSet, error) {
 		key := granKey(a.Target())
 		c, ok := cs.byGran[key]
 		if !ok {
-			c = &Cube{id: len(cs.cubes), gran: a.Target(), store: storage.New(layout), index: make(map[string]storage.RowID)}
+			c = &Cube{id: len(cs.cubes), gran: a.Target(), store: storage.New(layout), index: newCellIndex(layout.DimCols)}
 			cs.cubes = append(cs.cubes, c)
 			cs.byGran[key] = c
 		}
@@ -230,8 +241,7 @@ func (cs *CubeSet) InsertMO(mo *mdm.MO) error {
 //dimred:aggregate
 func (cs *CubeSet) mergeInto(c *Cube, refs []mdm.ValueID, meas []float64, base int64) error {
 	cs.extendZoneMap(c, refs)
-	_, key := cellKey(nil, refs)
-	if r, ok := c.index[key]; ok && c.store.Alive(r) {
+	if r, ok := c.index.get(refs); ok && c.store.Alive(r) {
 		for j, m := range cs.env.Schema.Measures {
 			c.store.SetMeasure(r, j, m.Agg.Merge(c.store.Measure(r, j), meas[j]))
 		}
@@ -243,9 +253,52 @@ func (cs *CubeSet) mergeInto(c *Cube, refs []mdm.ValueID, meas []float64, base i
 	if err != nil {
 		return fmt.Errorf("subcube: %w", err)
 	}
-	c.index[key] = r
+	c.index.put(refs, r)
 	cs.met.RowsAppended.Inc()
 	return nil
+}
+
+// cellEval evaluates DeletedBy/AggLevel per cell through either the
+// compiled router or the interpreted specification, behind one seam so
+// viewOf and ApplySpec need a single implementation. It counts router
+// probes locally; callers publish the count with one atomic add.
+type cellEval struct {
+	router *specexec.Router // nil selects the interpreted path
+	sp     *spec.Spec
+	t      caltime.Day
+	probes int64
+}
+
+func (cs *CubeSet) newCellEval(sp *spec.Spec, t caltime.Day) *cellEval {
+	e := &cellEval{sp: sp, t: t}
+	if !cs.interpret {
+		prog := specexec.Compile(sp)
+		e.router = prog.At(t)
+		cs.met.ProgramCompiles.Inc()
+		cs.met.BitsetBytes.Set(prog.BitsetBytes())
+	}
+	return e
+}
+
+func (e *cellEval) deletedBy(cell []mdm.ValueID) *spec.Action {
+	if e.router != nil {
+		e.probes++
+		return e.router.DeletedBy(cell)
+	}
+	return e.sp.DeletedBy(cell, e.t)
+}
+
+func (e *cellEval) aggLevelInto(cell []mdm.ValueID, level mdm.Granularity, resp []*spec.Action) {
+	if e.router != nil {
+		e.probes++
+		e.router.AggLevelInto(cell, level, resp)
+		return
+	}
+	lv, rs := e.sp.AggLevel(cell, e.t)
+	copy(level, lv)
+	if resp != nil {
+		copy(resp, rs)
+	}
 }
 
 // cubeUntouchedAt reports whether synchronization can skip cube c at
@@ -302,10 +355,22 @@ func (cs *CubeSet) extendZoneMap(c *Cube, refs []mdm.ValueID) {
 // Sync migrates every row to the subcube of its current aggregation
 // level at time t (Section 7.2): for each cube, rows whose AggLevel has
 // risen are rolled up and merged into the destination cube. The
-// read-only scan that finds movers runs over the cubes in parallel; the
-// migrations then apply serially. It returns the number of migrated
-// rows.
+// default path compiles the specification into a specexec program,
+// probes it during the parallel scan, and applies the migrations with
+// one goroutine per cube; SetInterpreted(true) selects the per-row
+// interpreted evaluation with a serial apply phase. Both return the
+// number of migrated rows and produce identical cube contents.
 func (cs *CubeSet) Sync(t caltime.Day) (int, error) {
+	if cs.interpret {
+		return cs.syncInterpreted(t)
+	}
+	return cs.syncCompiled(t)
+}
+
+// syncInterpreted is the uncompiled synchronization: a parallel
+// read-only mover scan evaluating Spec.DeletedBy/AggLevel per row,
+// then a serial apply phase.
+func (cs *CubeSet) syncInterpreted(t caltime.Day) (int, error) {
 	schema := cs.env.Schema
 	moved := 0
 
@@ -352,8 +417,7 @@ func (cs *CubeSet) Sync(t caltime.Day) (int, error) {
 			if cs.sp.DeletedBy(cell, t) != nil {
 				cs.deletedBase += c.store.Base(r)
 				cs.met.FactsDeleted.Add(c.store.Base(r))
-				_, key := cellKey(nil, cell)
-				delete(c.index, key)
+				c.index.del(cell)
 				c.store.Delete(r)
 				moved++
 				continue
@@ -378,8 +442,7 @@ func (cs *CubeSet) Sync(t caltime.Day) (int, error) {
 			if err := cs.mergeInto(dst, up, meas, c.store.Base(r)); err != nil {
 				return moved, err
 			}
-			_, key := cellKey(nil, cell)
-			delete(c.index, key)
+			c.index.del(cell)
 			c.store.Delete(r)
 			moved++
 		}
@@ -393,17 +456,214 @@ func (cs *CubeSet) Sync(t caltime.Day) (int, error) {
 	return moved, nil
 }
 
-func (cs *CubeSet) compact(c *Cube) {
-	cs.met.Compactions.Inc()
-	remap := c.store.Compact()
-	for key, r := range c.index {
-		nr := remap[r]
-		if nr < 0 {
-			delete(c.index, key)
-		} else {
-			c.index[key] = nr
+// cubeMovers is one cube's phase-1 result under the compiled path:
+// rows to tombstone-delete, and for each migrating row its destination
+// cube, rolled-up cell, measures and base count — extracted up front
+// into flat per-cube scratch so the parallel apply phase never reads
+// another goroutine's store.
+type cubeMovers struct {
+	delRows []storage.RowID
+	delBase int64
+	rows    []storage.RowID // migrating rows, ascending
+	dsts    []int32         // destination cube id per migrating row
+	ups     []mdm.ValueID   // rolled-up cells, nDims entries per row
+	meas    []float64       // measures, nMeas entries per row
+	base    []int64
+	scanned int
+	probes  int64
+	err     error
+}
+
+// granPack encodes a granularity into one uint64, 8 bits per category
+// (a dimension holds at most 63 categories). ok is false above 8
+// dimensions; callers then fall back to the string key.
+func granPack(g mdm.Granularity) (uint64, bool) {
+	if len(g) > 8 {
+		return 0, false
+	}
+	var k uint64
+	for _, c := range g {
+		k = k<<8 | uint64(c)
+	}
+	return k, true
+}
+
+// syncCompiled is the compiled synchronization. Phase 1 compiles the
+// specification once, then scans the cubes in parallel, probing the
+// day-pinned router per row and extracting every mover's rolled-up row
+// into per-cube scratch. Phase 2 is parallel too: one goroutine per
+// cube owns that cube's store and index outright — it tombstones the
+// cube's deleted and outbound rows and merges the inbound movers, in
+// (source cube, source row) order so the result is deterministic. A
+// mover's destination cell can never coincide with a cell leaving the
+// same cube at the same t (equal cells have equal AggLevel), so the
+// deferred deletes commute with the merges and the contents match the
+// interpreted serial path exactly.
+func (cs *CubeSet) syncCompiled(t caltime.Day) (int, error) {
+	schema := cs.env.Schema
+	nDims := schema.NumDims()
+	nMeas := len(schema.Measures)
+
+	prog := specexec.Compile(cs.sp)
+	router := prog.At(t)
+	cs.met.ProgramCompiles.Inc()
+	cs.met.BitsetBytes.Set(prog.BitsetBytes())
+
+	// Destination lookup by packed granularity, falling back to the
+	// string-keyed byGran map above 8 dimensions.
+	var dstPacked map[uint64]*Cube
+	if _, ok := granPack(cs.cubes[0].gran); ok {
+		dstPacked = make(map[uint64]*Cube, len(cs.cubes))
+		for _, c := range cs.cubes {
+			k, _ := granPack(c.gran)
+			dstPacked[k] = c
 		}
 	}
+
+	// Phase 1 (parallel): find movers and extract their rolled-up rows.
+	movers := make([]cubeMovers, len(cs.cubes))
+	var wg sync.WaitGroup
+	for ci, c := range cs.cubes {
+		if cs.cubeUntouchedAt(c, t) {
+			cs.met.SyncSkips.Inc()
+			continue
+		}
+		wg.Add(1)
+		go func(m *cubeMovers, c *Cube) {
+			defer wg.Done()
+			cell := make([]mdm.ValueID, nDims)
+			level := make(mdm.Granularity, nDims)
+			c.store.Scan(func(r storage.RowID) bool {
+				m.scanned++
+				c.store.Refs(r, cell)
+				m.probes++
+				if router.DeletedBy(cell) != nil {
+					m.delRows = append(m.delRows, r)
+					m.delBase += c.store.Base(r)
+					return true
+				}
+				m.probes++
+				router.AggLevelInto(cell, level, nil)
+				if schema.GranEq(level, c.gran) {
+					return true
+				}
+				var dst *Cube
+				if dstPacked != nil {
+					k, _ := granPack(level)
+					dst = dstPacked[k]
+				} else {
+					dst = cs.byGran[granKey(level)]
+				}
+				if dst == nil {
+					m.err = fmt.Errorf("subcube: Sync: no cube at granularity %s", schema.GranString(level))
+					return false
+				}
+				for i, d := range schema.Dims {
+					up := d.AncestorAt(cell[i], level[i])
+					if up == mdm.NoValue {
+						m.err = fmt.Errorf("subcube: Sync: value %s has no ancestor at %s",
+							d.ValueName(cell[i]), d.Category(level[i]).Name)
+						return false
+					}
+					m.ups = append(m.ups, up)
+				}
+				for j := 0; j < nMeas; j++ {
+					m.meas = append(m.meas, c.store.Measure(r, j))
+				}
+				m.rows = append(m.rows, r)
+				m.dsts = append(m.dsts, int32(dst.id))
+				m.base = append(m.base, c.store.Base(r))
+				return true
+			})
+		}(&movers[ci], c)
+	}
+	wg.Wait()
+
+	moved := 0
+	for ci := range movers {
+		m := &movers[ci]
+		cs.met.SyncScanned.Add(int64(m.scanned))
+		cs.met.ProgramProbes.Add(m.probes)
+		if m.err != nil {
+			return 0, m.err
+		}
+		moved += len(m.delRows) + len(m.rows)
+	}
+	if moved == 0 {
+		cs.lastSync, cs.synced = t, true
+		return 0, nil
+	}
+
+	// Regroup movers by destination, in (source cube, source row)
+	// order — the order the serial path merges in.
+	type moverRef struct {
+		src, idx int32
+	}
+	inbound := make([][]moverRef, len(cs.cubes))
+	for si := range movers {
+		for k, d := range movers[si].dsts {
+			inbound[d] = append(inbound[d], moverRef{src: int32(si), idx: int32(k)})
+		}
+	}
+
+	// Phase 2 (parallel): each goroutine owns exactly one cube —
+	// tombstones its outbound and deleted rows, merges its inbound
+	// rows, then compacts if tombstones dominate.
+	errs := make([]error, len(cs.cubes))
+	for ci, c := range cs.cubes {
+		if len(inbound[ci]) == 0 && len(movers[ci].delRows) == 0 && len(movers[ci].rows) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(ci int, c *Cube) {
+			defer wg.Done()
+			cell := make([]mdm.ValueID, nDims)
+			m := &movers[ci]
+			for _, r := range m.delRows {
+				c.store.Refs(r, cell)
+				c.index.del(cell)
+				c.store.Delete(r)
+			}
+			for _, r := range m.rows {
+				c.store.Refs(r, cell)
+				c.index.del(cell)
+				c.store.Delete(r)
+			}
+			for _, ref := range inbound[ci] {
+				src := &movers[ref.src]
+				up := src.ups[int(ref.idx)*nDims : (int(ref.idx)+1)*nDims]
+				meas := src.meas[int(ref.idx)*nMeas : (int(ref.idx)+1)*nMeas]
+				if err := cs.mergeInto(c, up, meas, src.base[ref.idx]); err != nil {
+					errs[ci] = err
+					return
+				}
+			}
+			if c.store.Rows() > 64 && c.store.Live()*2 < c.store.Rows() {
+				cs.compact(c)
+			}
+		}(ci, c)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return 0, err
+		}
+	}
+
+	var deleted int64
+	for ci := range movers {
+		deleted += movers[ci].delBase
+	}
+	cs.deletedBase += deleted
+	cs.met.FactsDeleted.Add(deleted)
+	cs.lastSync, cs.synced = t, true
+	cs.met.RowsFolded.Add(int64(moved))
+	return moved, nil
+}
+
+func (cs *CubeSet) compact(c *Cube) {
+	cs.met.Compactions.Inc()
+	c.index.applyRemap(c.store.Compact())
 }
 
 // ApplySpec rebuilds the cube layout for an updated specification (the
@@ -424,26 +684,28 @@ func (cs *CubeSet) ApplySpec(sp *spec.Spec, t caltime.Day) error {
 	next.met = cs.met
 	cs.met.SpecRebuilds.Inc()
 	schema := cs.env.Schema
+	eval := cs.newCellEval(sp, t)
 	cell := make([]mdm.ValueID, schema.NumDims())
+	level := make(mdm.Granularity, schema.NumDims())
+	up := make([]mdm.ValueID, schema.NumDims())
+	meas := make([]float64, len(schema.Measures))
 	for _, c := range old {
 		var failed error
 		c.store.Scan(func(r storage.RowID) bool {
 			c.store.Refs(r, cell)
-			if sp.DeletedBy(cell, t) != nil {
+			if eval.deletedBy(cell) != nil {
 				next.deletedBase += c.store.Base(r)
 				return true
 			}
-			level, _ := sp.AggLevel(cell, t)
+			eval.aggLevelInto(cell, level, nil)
 			dst, ok := next.byGran[granKey(level)]
 			if !ok {
 				failed = fmt.Errorf("subcube: ApplySpec: no cube at granularity %s", schema.GranString(level))
 				return false
 			}
-			up := make([]mdm.ValueID, len(cell))
 			for i, d := range schema.Dims {
 				up[i] = d.AncestorAt(cell[i], level[i])
 			}
-			meas := make([]float64, len(schema.Measures))
 			for j := range meas {
 				meas[j] = c.store.Measure(r, j)
 			}
@@ -457,6 +719,7 @@ func (cs *CubeSet) ApplySpec(sp *spec.Spec, t caltime.Day) error {
 			return failed
 		}
 	}
+	cs.met.ProgramProbes.Add(eval.probes)
 	cs.sp = sp
 	cs.cubes = next.cubes
 	cs.byGran = next.byGran

@@ -1,0 +1,102 @@
+package subcube
+
+import (
+	"dimred/internal/mdm"
+	"dimred/internal/storage"
+)
+
+// cellIndex maps a cube cell to its physical row. When every value of
+// a cell fits in 64/nDims bits the cell packs into one uint64 and the
+// lookup is allocation-free; cells with larger (or negative) values
+// fall back to a string-keyed map. A given cell always packs the same
+// way, so each cell lives in exactly one of the two maps.
+type cellIndex struct {
+	packed map[uint64]storage.RowID
+	str    map[string]storage.RowID
+	width  uint // bits per dimension value; 0 disables packing
+	buf    []byte
+}
+
+func newCellIndex(nDims int) *cellIndex {
+	ix := &cellIndex{packed: make(map[uint64]storage.RowID)}
+	if nDims > 0 && nDims <= 64 {
+		ix.width = uint(64 / nDims)
+	}
+	return ix
+}
+
+// pack encodes the cell into one uint64, width bits per value. ok is
+// false when a value needs more bits: uint64(ValueID) sign-extends, so
+// negative values overflow the width check and reject themselves.
+func (ix *cellIndex) pack(cell []mdm.ValueID) (uint64, bool) {
+	if ix.width == 0 {
+		return 0, false
+	}
+	var k uint64
+	for _, v := range cell {
+		u := uint64(v)
+		if u>>ix.width != 0 {
+			return 0, false
+		}
+		k = k<<ix.width | u
+	}
+	return k, true
+}
+
+func (ix *cellIndex) get(cell []mdm.ValueID) (storage.RowID, bool) {
+	if k, ok := ix.pack(cell); ok {
+		r, hit := ix.packed[k]
+		return r, hit
+	}
+	if ix.str == nil {
+		return 0, false
+	}
+	buf, _ := cellKey(ix.buf, cell)
+	ix.buf = buf
+	r, hit := ix.str[string(buf)]
+	return r, hit
+}
+
+func (ix *cellIndex) put(cell []mdm.ValueID, r storage.RowID) {
+	if k, ok := ix.pack(cell); ok {
+		ix.packed[k] = r
+		return
+	}
+	if ix.str == nil {
+		ix.str = make(map[string]storage.RowID)
+	}
+	_, key := cellKey(ix.buf, cell)
+	ix.str[key] = r
+}
+
+func (ix *cellIndex) del(cell []mdm.ValueID) {
+	if k, ok := ix.pack(cell); ok {
+		delete(ix.packed, k)
+		return
+	}
+	if ix.str == nil {
+		return
+	}
+	buf, _ := cellKey(ix.buf, cell)
+	ix.buf = buf
+	delete(ix.str, string(buf))
+}
+
+// applyRemap rewrites every entry through the row remapping returned
+// by Store.Compact, dropping entries whose rows were reclaimed.
+func (ix *cellIndex) applyRemap(remap []storage.RowID) {
+	for k, r := range ix.packed {
+		if nr := remap[r]; nr < 0 {
+			delete(ix.packed, k)
+		} else {
+			ix.packed[k] = nr
+		}
+	}
+	for k, r := range ix.str {
+		if nr := remap[r]; nr < 0 {
+			delete(ix.str, k)
+		} else {
+			ix.str[k] = nr
+		}
+	}
+}

@@ -105,8 +105,17 @@ func (cs *CubeSet) EvaluateTraced(q Query, t caltime.Day, tr *obs.Trace) (*mdm.M
 		predLo, predHi, pruneByTime = q.Pred.TimeBounds(t)
 	}
 
+	// Unsynchronized queries rebuild each cube's view per row; compile
+	// the specification once and share the day-pinned router across the
+	// per-cube goroutines (each carries its own probe counter).
+	var baseEval *cellEval
+	if !synced {
+		baseEval = cs.newCellEval(cs.sp, t)
+	}
+
 	subresults := make([]*mdm.MO, len(cs.cubes))
 	errs := make([]error, len(cs.cubes))
+	evals := make([]*cellEval, len(cs.cubes))
 	var wg sync.WaitGroup
 	for i, c := range cs.cubes {
 		if pruneByTime {
@@ -131,7 +140,9 @@ func (cs *CubeSet) EvaluateTraced(q Query, t caltime.Day, tr *obs.Trace) (*mdm.M
 				// and materialize only the selected rows.
 				mo, scanned, kept, err = cs.selectedMO(c, q, t)
 			} else {
-				mo, scanned, err = cs.viewOf(c, t)
+				e := &cellEval{router: baseEval.router, sp: baseEval.sp, t: baseEval.t}
+				evals[i] = e
+				mo, scanned, err = cs.viewOf(c, e)
 				if err == nil && q.Pred != nil {
 					mo, err = query.Select(mo, q.Pred, t, q.Sel)
 				}
@@ -159,6 +170,15 @@ func (cs *CubeSet) EvaluateTraced(q Query, t caltime.Day, tr *obs.Trace) (*mdm.M
 	scanDone := clk.Now()
 	if tr != nil {
 		tr.AddStage("parallel subcube scan", scanDone.Sub(start))
+	}
+	var probes int64
+	for _, e := range evals {
+		if e != nil {
+			probes += e.probes
+		}
+	}
+	if probes > 0 {
+		cs.met.ProgramProbes.Add(probes)
 	}
 	for _, err := range errs {
 		if err != nil {
@@ -237,11 +257,12 @@ func (cs *CubeSet) selectedMO(c *Cube, q Query, t caltime.Day) (mo *mdm.MO, scan
 	return mo, scanned, kept, failed
 }
 
-// viewOf builds the synchronized view of cube c at time t from c and its
-// parent cubes: the rows whose current aggregation level equals c's
-// granularity, rolled up to it and merged by cell. scanned reports the
-// rows visited across the cube and its parents.
-func (cs *CubeSet) viewOf(c *Cube, t caltime.Day) (mo *mdm.MO, scanned int, err error) {
+// viewOf builds the synchronized view of cube c at the evaluator's day
+// from c and its parent cubes: the rows whose current aggregation level
+// equals c's granularity, rolled up to it and merged by cell. scanned
+// reports the rows visited across the cube and its parents. The
+// per-row up/meas scratch is hoisted: MO.AddFactAt copies its inputs.
+func (cs *CubeSet) viewOf(c *Cube, e *cellEval) (mo *mdm.MO, scanned int, err error) {
 	schema := cs.env.Schema
 	mo = mdm.NewMO(schema)
 	mo.SetFloors(c.gran)
@@ -249,20 +270,22 @@ func (cs *CubeSet) viewOf(c *Cube, t caltime.Day) (mo *mdm.MO, scanned int, err 
 
 	sources := append([]*Cube{c}, c.parents...)
 	cell := make([]mdm.ValueID, schema.NumDims())
+	level := make(mdm.Granularity, schema.NumDims())
+	up := make([]mdm.ValueID, schema.NumDims())
+	meas := make([]float64, len(schema.Measures))
 	var keyBuf []byte
 	for _, src := range sources {
 		var failed error
 		src.store.Scan(func(r storage.RowID) bool {
 			scanned++
 			src.store.Refs(r, cell)
-			if cs.sp.DeletedBy(cell, t) != nil {
+			if e.deletedBy(cell) != nil {
 				return true // already past its deletion time
 			}
-			level, _ := cs.sp.AggLevel(cell, t)
+			e.aggLevelInto(cell, level, nil)
 			if !schema.GranEq(level, c.gran) {
 				return true
 			}
-			up := make([]mdm.ValueID, len(cell))
 			for i, d := range schema.Dims {
 				up[i] = d.AncestorAt(cell[i], level[i])
 				if up[i] == mdm.NoValue {
@@ -271,9 +294,11 @@ func (cs *CubeSet) viewOf(c *Cube, t caltime.Day) (mo *mdm.MO, scanned int, err 
 					return false
 				}
 			}
-			var key string
-			keyBuf, key = cellKey(keyBuf, up)
-			if fid, ok := index[key]; ok {
+			keyBuf = keyBuf[:0]
+			for _, v := range up {
+				keyBuf = append(keyBuf, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+			}
+			if fid, ok := index[string(keyBuf)]; ok {
 				for j, m := range schema.Measures {
 					merged := m.Agg.Merge(mo.Measure(fid, j), src.store.Measure(r, j))
 					mo.SetMeasure(fid, j, merged)
@@ -281,7 +306,6 @@ func (cs *CubeSet) viewOf(c *Cube, t caltime.Day) (mo *mdm.MO, scanned int, err 
 				mo.AddBaseCount(fid, src.store.Base(r))
 				return true
 			}
-			meas := make([]float64, len(schema.Measures))
 			for j := range meas {
 				meas[j] = src.store.Measure(r, j)
 			}
@@ -290,7 +314,7 @@ func (cs *CubeSet) viewOf(c *Cube, t caltime.Day) (mo *mdm.MO, scanned int, err 
 				failed = err
 				return false
 			}
-			index[key] = fid
+			index[string(keyBuf)] = fid
 			return true
 		})
 		if failed != nil {
