@@ -14,10 +14,11 @@ import (
 )
 
 // benchRow is one line of the committed benchmark artifact
-// (BENCH_pr4.json): an operation on one evaluation path, with the
-// standard go-bench figures plus row throughput. The interpreted path
-// is the pre-specexec implementation, so each interpreted/compiled
-// pair is a before/after reading at identical workload scale.
+// (BENCH_pr4.json / BENCH_pr5.json): an operation on one evaluation
+// path, with the standard go-bench figures plus row throughput. The
+// interpreted path is the pre-specexec implementation, so each
+// interpreted/compiled pair is a before/after reading at identical
+// workload scale.
 type benchRow struct {
 	Op          string  `json:"op"`
 	Path        string  `json:"path"` // "interpreted" (before) or "compiled" (after)
@@ -29,9 +30,31 @@ type benchRow struct {
 	RowsPerSec  float64 `json:"rows_per_sec"`
 }
 
+// cacheStats is the Metrics() delta recorded around the compiled Query
+// benchmark: the generation-keyed program cache must amortize
+// compilation to O(spec mutations), so ProgramCompiles stays O(1) while
+// Queries grows with b.N.
+type cacheStats struct {
+	Queries            int64 `json:"queries"`
+	ProgramCompiles    int64 `json:"program_compiles"`
+	ProgramCacheHits   int64 `json:"program_cache_hits"`
+	ProgramCacheMisses int64 `json:"program_cache_misses"`
+	RouterCacheHits    int64 `json:"router_cache_hits"`
+	BitsetBytes        int64 `json:"bitset_bytes"`
+}
+
+// benchReport is the BENCH_pr5.json shape: the measurement rows plus
+// the cache-counter citation. BENCH_pr4.json predates the wrapper and
+// is a bare row array; loadBenchRows reads both.
+type benchReport struct {
+	Rows  []benchRow  `json:"rows"`
+	Cache *cacheStats `json:"cache,omitempty"`
+}
+
 // runBenchSuite measures the compiled-vs-interpreted pairs at the
 // bench_test.go workload scales (Sync: 180 days × 100 clicks/day;
-// Reduce: 120 × 50) and writes the results as JSON to outPath.
+// Reduce: 120 × 50; Query: repeated unsynchronized evaluation over the
+// Sync workload) and writes the results as JSON to outPath.
 func runBenchSuite(outPath string) error {
 	syncObj, syncSpec, err := benchWorkload(180, 100)
 	if err != nil {
@@ -80,14 +103,65 @@ func runBenchSuite(outPath string) error {
 		}
 	}
 
+	// Query: repeated un-synchronized evaluation against one cube set —
+	// every call rebuilds each cube's view per row, the workload where
+	// the program/router cache pays off. The set is synchronized two
+	// weeks before the query day, within the same significant period.
+	queryAt := caltime.Date(2000, 9, 13)
+	q := subcube.MustParseQuery(`aggregate [Time.month, URL.domain_grp]`, syncSpec.Env())
+	newQuerySet := func(interpreted bool) (*subcube.CubeSet, error) {
+		cs, err := subcube.New(syncSpec)
+		if err != nil {
+			return nil, err
+		}
+		cs.SetInterpreted(interpreted)
+		if err := cs.InsertMO(syncObj.MO); err != nil {
+			return nil, err
+		}
+		if _, err := cs.Sync(at); err != nil {
+			return nil, err
+		}
+		return cs, nil
+	}
+	queryBench := func(cs *subcube.CubeSet) func(b *testing.B) {
+		return func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := cs.Evaluate(q, queryAt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	interpSet, err := newQuerySet(true)
+	if err != nil {
+		return err
+	}
+	compiledSet, err := newQuerySet(false)
+	if err != nil {
+		return err
+	}
+
 	rows := []benchRow{
 		measure("Sync", "interpreted", syncObj.MO.Len(), syncBench(true)),
 		measure("Sync", "compiled", syncObj.MO.Len(), syncBench(false)),
 		measure("Reduce", "interpreted", redObj.MO.Len(), reduceBench(true)),
 		measure("Reduce", "compiled", redObj.MO.Len(), reduceBench(false)),
+		measure("Query", "interpreted", syncObj.MO.Len(), queryBench(interpSet)),
+	}
+	before := compiledSet.Metrics().Snapshot()
+	rows = append(rows, measure("Query", "compiled", syncObj.MO.Len(), queryBench(compiledSet)))
+	delta := compiledSet.Metrics().Snapshot().Sub(before)
+	cache := &cacheStats{
+		Queries:            delta.Queries,
+		ProgramCompiles:    delta.ProgramCompiles,
+		ProgramCacheHits:   delta.ProgramCacheHits,
+		ProgramCacheMisses: delta.ProgramCacheMisses,
+		RouterCacheHits:    delta.RouterCacheHits,
+		BitsetBytes:        compiledSet.Metrics().BitsetBytes.Load(),
 	}
 
-	out, err := json.MarshalIndent(rows, "", "  ")
+	out, err := json.MarshalIndent(benchReport{Rows: rows, Cache: cache}, "", "  ")
 	if err != nil {
 		return err
 	}
@@ -103,6 +177,9 @@ func runBenchSuite(outPath string) error {
 		fmt.Printf("%-7s %-11s %12.0f ns/op %10d B/op %8d allocs/op %12.0f rows/s\n",
 			r.Op, r.Path, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp, r.RowsPerSec)
 	}
+	fmt.Printf("compiled Query cache: %d queries, %d compiles, %d program hits, %d misses, %d router hits, %d bitset bytes retained\n",
+		cache.Queries, cache.ProgramCompiles, cache.ProgramCacheHits, cache.ProgramCacheMisses,
+		cache.RouterCacheHits, cache.BitsetBytes)
 	fmt.Printf("wrote %s\n", outPath)
 	return nil
 }

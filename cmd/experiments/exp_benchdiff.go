@@ -1,0 +1,99 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// benchDiffTolerance is how much of the old compiled-over-interpreted
+// speedup a new run may lose before the diff fails. Ratios of two
+// measurements on the same host cancel out machine speed, so CI can
+// compare a fresh run against a committed artifact from different
+// hardware.
+const benchDiffTolerance = 0.25
+
+// loadBenchRows reads a benchmark artifact in either format: the
+// benchReport object written since BENCH_pr5.json, or the bare row
+// array of BENCH_pr4.json and earlier.
+func loadBenchRows(path string) ([]benchRow, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var report benchReport
+	if err := json.Unmarshal(data, &report); err == nil && len(report.Rows) > 0 {
+		return report.Rows, nil
+	}
+	var rows []benchRow
+	if err := json.Unmarshal(data, &rows); err != nil {
+		return nil, fmt.Errorf("%s: neither a bench report nor a row array: %w", path, err)
+	}
+	return rows, nil
+}
+
+// speedups computes, per op present in rows, the interpreted/compiled
+// ns-per-op ratio (how many times faster the compiled path is).
+func speedups(rows []benchRow) map[string]float64 {
+	ns := make(map[string]map[string]float64)
+	for _, r := range rows {
+		if ns[r.Op] == nil {
+			ns[r.Op] = make(map[string]float64)
+		}
+		ns[r.Op][r.Path] = r.NsPerOp
+	}
+	out := make(map[string]float64)
+	for op, paths := range ns {
+		if paths["compiled"] > 0 && paths["interpreted"] > 0 {
+			out[op] = paths["interpreted"] / paths["compiled"]
+		}
+	}
+	return out
+}
+
+// runBenchDiff compares the compiled-vs-interpreted speedup ratios of
+// two benchmark artifacts and fails if any op common to both lost more
+// than benchDiffTolerance of its old speedup. Absolute ns/op is not
+// compared — it tracks the host, not the code.
+func runBenchDiff(spec string) error {
+	parts := strings.Split(spec, ",")
+	if len(parts) != 2 {
+		return fmt.Errorf("-benchdiff wants OLD.json,NEW.json, got %q", spec)
+	}
+	oldRows, err := loadBenchRows(parts[0])
+	if err != nil {
+		return err
+	}
+	newRows, err := loadBenchRows(parts[1])
+	if err != nil {
+		return err
+	}
+	oldS, newS := speedups(oldRows), speedups(newRows)
+
+	var failures []string
+	compared := 0
+	for _, op := range []string{"Sync", "Reduce", "Query"} {
+		o, okOld := oldS[op]
+		n, okNew := newS[op]
+		if !okOld || !okNew {
+			continue
+		}
+		compared++
+		floor := o * (1 - benchDiffTolerance)
+		status := "ok"
+		if n < floor {
+			status = "REGRESSED"
+			failures = append(failures, op)
+		}
+		fmt.Printf("%-7s speedup %5.2fx -> %5.2fx (floor %5.2fx) %s\n", op, o, n, floor, status)
+	}
+	if compared == 0 {
+		return fmt.Errorf("no ops in common between %s and %s", parts[0], parts[1])
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("compiled-path speedup regressed >%.0f%% on: %s",
+			benchDiffTolerance*100, strings.Join(failures, ", "))
+	}
+	return nil
+}

@@ -205,9 +205,26 @@ const (
 // ParsePredicate parses and compiles a selection predicate.
 func ParsePredicate(src string, env *Env) (*Predicate, error) { return query.ParsePred(src, env) }
 
-// Select is the selection operator σ[p](O) at query time t.
+// Select is the selection operator σ[p](O) at query time t, under the
+// conservative or liberal approach. For the weighted approach use
+// SelectWeighted, whose per-fact certainty weights feed
+// AggregateWeighted.
 func Select(mo *MO, p *Predicate, t Day, approach SelectionApproach) (*MO, error) {
 	return query.Select(mo, p, t, approach)
+}
+
+// SelectWeighted is selection under the weighted approach of Section
+// 6.1: the facts that might satisfy the predicate, each with its
+// certainty weight (aligned with the result MO's fact ids).
+func SelectWeighted(mo *MO, p *Predicate, t Day) (*MO, []float64, error) {
+	return query.SelectWeighted(mo, p, t)
+}
+
+// AggregateWeighted folds a weighted selection result to the target
+// granularity, scaling SUM contributions by the certainty weights —
+// the expected-value answers of the weighted approach.
+func AggregateWeighted(mo *MO, weights []float64, target Granularity, approach AggregationApproach) (*MO, error) {
+	return query.AggregateWeighted(mo, weights, target, approach)
 }
 
 // Project is the projection operator π.

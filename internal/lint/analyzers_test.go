@@ -99,14 +99,52 @@ func TestInvariantCall(t *testing.T) {
 
 type Action struct{ Name string }
 
-type Spec struct{ actions []*Action }
+type Spec struct {
+	actions []*Action
+	gen     uint64
+}
 
 func CheckNonCrossing(as []*Action) error { return nil }
 func CheckGrowing(as []*Action) error     { return nil }
 
+func (s *Spec) bumpGeneration() { s.gen++ }
+
 // Insert is the honest operator: both obligations are discharged
-// before the action set changes.
+// before the action set changes, and the commit bumps the generation.
 func (s *Spec) Insert(a *Action) error {
+	cand := append(s.actions, a)
+	if err := CheckNonCrossing(cand); err != nil {
+		return err
+	}
+	if err := CheckGrowing(cand); err != nil {
+		return err
+	}
+	s.actions = cand
+	s.bumpGeneration()
+	return nil
+}
+
+// Wrapped mutates only through Insert, so the checkers and the bump
+// are reached transitively.
+func (s *Spec) Wrapped(a *Action) error { return s.Insert(a) }
+
+func (s *Spec) Hack(a *Action) { // want "exported Hack mutates the Spec.actions action set without invoking CheckNonCrossing and CheckGrowing" "without bumping the spec generation"
+	s.actions = append(s.actions, a)
+}
+
+func (s *Spec) HalfChecked(a *Action) error { // want "without invoking CheckGrowing" "without bumping the spec generation"
+	cand := append(s.actions, a)
+	if err := CheckNonCrossing(cand); err != nil {
+		return err
+	}
+	s.actions = cand
+	return nil
+}
+
+// Forgetful discharges both proof obligations but commits without
+// bumping the generation — the stale-cache hazard the GenBump rule
+// exists for.
+func (s *Spec) Forgetful(a *Action) error { // want "exported Forgetful mutates the Spec.actions action set without bumping the spec generation \\(call bumpGeneration\\)"
 	cand := append(s.actions, a)
 	if err := CheckNonCrossing(cand); err != nil {
 		return err
@@ -118,26 +156,9 @@ func (s *Spec) Insert(a *Action) error {
 	return nil
 }
 
-// Wrapped mutates only through Insert, so the checkers are reached
-// transitively.
-func (s *Spec) Wrapped(a *Action) error { return s.Insert(a) }
-
-func (s *Spec) Hack(a *Action) { // want "exported Hack mutates the Spec.actions action set without invoking CheckNonCrossing and CheckGrowing"
-	s.actions = append(s.actions, a)
-}
-
-func (s *Spec) HalfChecked(a *Action) error { // want "without invoking CheckGrowing"
-	cand := append(s.actions, a)
-	if err := CheckNonCrossing(cand); err != nil {
-		return err
-	}
-	s.actions = cand
-	return nil
-}
-
 func (s *Spec) setRaw(as []*Action) { s.actions = as }
 
-func (s *Spec) Sneaky(as []*Action) { // want "exported Sneaky mutates the Spec.actions action set"
+func (s *Spec) Sneaky(as []*Action) { // want "exported Sneaky mutates the Spec.actions action set" "without bumping the spec generation"
 	s.setRaw(as)
 }
 

@@ -21,17 +21,27 @@ type InvariantConfig struct {
 	// paper's proof obligations; every exported mutator must reach all
 	// of them.
 	Checkers []string
+	// GenBump is a method name (in SpecPkg) that records a committed
+	// mutation of the guarded field — the generation bump that
+	// invalidates compiled-program caches keyed on the specification
+	// generation. Every exported mutator must reach it; empty disables
+	// the check.
+	GenBump string
 }
 
 // DefaultInvariantConfig guards Spec.actions with the operational
 // NonCrossing (Section 5.2) and Growing (Section 5.3, Eq. 23) checks —
 // the obligations the paper hands to a theorem prover, which the
-// insert/delete operators of Definitions 3–4 must discharge.
+// insert/delete operators of Definitions 3–4 must discharge — and with
+// the bumpGeneration discipline the specexec program cache relies on:
+// a mutator that commits without bumping the generation would leave
+// stale compiled programs looking fresh.
 var DefaultInvariantConfig = InvariantConfig{
 	SpecPkg:  "internal/spec",
 	SpecType: "Spec",
 	Field:    "actions",
 	Checkers: []string{"CheckNonCrossing", "CheckGrowing"},
+	GenBump:  "bumpGeneration",
 }
 
 // funcFacts is what invariantcall records per function declaration.
@@ -52,7 +62,7 @@ type funcFacts struct {
 func NewInvariantCall(cfg InvariantConfig) *Analyzer {
 	a := &Analyzer{
 		Name: "invariantcall",
-		Doc:  "exported mutators of the spec action set must invoke the NonCrossing/Growing checkers",
+		Doc:  "exported mutators of the spec action set must invoke the NonCrossing/Growing checkers and bump the spec generation",
 	}
 	a.RunModule = func(units []*Unit) []Diagnostic {
 		modulePkgs := map[string]bool{}
@@ -62,6 +72,9 @@ func NewInvariantCall(cfg InvariantConfig) *Analyzer {
 		checkerSet := map[string]bool{}
 		for _, c := range cfg.Checkers {
 			checkerSet[c] = true
+		}
+		if cfg.GenBump != "" {
+			checkerSet[cfg.GenBump] = true
 		}
 
 		facts := map[string]*funcFacts{}
@@ -123,6 +136,11 @@ func NewInvariantCall(cfg InvariantConfig) *Analyzer {
 				ds = append(ds, ff.unit.Diag(ff.pos.Pos(),
 					"exported %s mutates the %s.%s action set without invoking %s",
 					ff.pos.Name.Name, cfg.SpecType, cfg.Field, strings.Join(missing, " and ")))
+			}
+			if cfg.GenBump != "" && !reaches.check(key, func(f *funcFacts) bool { return f.checks[cfg.GenBump] }) {
+				ds = append(ds, ff.unit.Diag(ff.pos.Pos(),
+					"exported %s mutates the %s.%s action set without bumping the spec generation (call %s)",
+					ff.pos.Name.Name, cfg.SpecType, cfg.Field, cfg.GenBump))
 			}
 		}
 		return ds

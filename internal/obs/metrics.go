@@ -35,9 +35,12 @@ type Metrics struct {
 	QueryDuration Histogram // wall time per cube-set query evaluation
 
 	// Compiled evaluation (specexec).
-	ProgramCompiles Counter // spec→bitset program compilations
-	ProgramProbes   Counter // per-row compiled router probes
-	BitsetBytes     Gauge   // bytes held by the last compiled program's bitsets
+	ProgramCompiles    Counter // spec→bitset program compilations
+	ProgramCacheHits   Counter // program-cache hits (spec generation unchanged)
+	ProgramCacheMisses Counter // program-cache misses forcing a compile
+	RouterCacheHits    Counter // day-pinned router reuses from the cache
+	ProgramProbes      Counter // per-row compiled router probes
+	BitsetBytes        Gauge   // bitset bytes retained by the cached program
 
 	// Query path.
 	Queries        Counter // cube-set evaluations
@@ -88,9 +91,12 @@ type MetricsSnapshot struct {
 	Compactions  int64
 	SpecRebuilds int64
 
-	ProgramCompiles int64
-	ProgramProbes   int64
-	BitsetBytes     int64
+	ProgramCompiles    int64
+	ProgramCacheHits   int64
+	ProgramCacheMisses int64
+	RouterCacheHits    int64
+	ProgramProbes      int64
+	BitsetBytes        int64
 
 	Queries        int64
 	CubesConsulted int64
@@ -125,9 +131,12 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		Compactions:  m.Compactions.Load(),
 		SpecRebuilds: m.SpecRebuilds.Load(),
 
-		ProgramCompiles: m.ProgramCompiles.Load(),
-		ProgramProbes:   m.ProgramProbes.Load(),
-		BitsetBytes:     m.BitsetBytes.Load(),
+		ProgramCompiles:    m.ProgramCompiles.Load(),
+		ProgramCacheHits:   m.ProgramCacheHits.Load(),
+		ProgramCacheMisses: m.ProgramCacheMisses.Load(),
+		RouterCacheHits:    m.RouterCacheHits.Load(),
+		ProgramProbes:      m.ProgramProbes.Load(),
+		BitsetBytes:        m.BitsetBytes.Load(),
 
 		Queries:        m.Queries.Load(),
 		CubesConsulted: m.CubesConsulted.Load(),
@@ -164,6 +173,9 @@ func (s MetricsSnapshot) Sub(prev MetricsSnapshot) MetricsSnapshot {
 	d.Compactions -= prev.Compactions
 	d.SpecRebuilds -= prev.SpecRebuilds
 	d.ProgramCompiles -= prev.ProgramCompiles
+	d.ProgramCacheHits -= prev.ProgramCacheHits
+	d.ProgramCacheMisses -= prev.ProgramCacheMisses
+	d.RouterCacheHits -= prev.RouterCacheHits
 	d.ProgramProbes -= prev.ProgramProbes
 	d.Queries -= prev.Queries
 	d.CubesConsulted -= prev.CubesConsulted
@@ -193,6 +205,9 @@ func (s MetricsSnapshot) String() string {
 	row(&b, "compactions", s.Compactions)
 	row(&b, "spec rebuilds", s.SpecRebuilds)
 	row(&b, "program compiles", s.ProgramCompiles)
+	row(&b, "program cache hits", s.ProgramCacheHits)
+	row(&b, "program cache misses", s.ProgramCacheMisses)
+	row(&b, "router cache hits", s.RouterCacheHits)
 	row(&b, "program probes", s.ProgramProbes)
 	row(&b, "program bitset bytes", s.BitsetBytes)
 	padLabel(&b, "sync latency")

@@ -422,14 +422,17 @@ func maxD(a, b caltime.Day) caltime.Day {
 	return b
 }
 
-// Select is the selection operator σ[p](O) (Eq. 36) under the given
-// approach, evaluated at query time t (binding NOW in the predicate).
-// The result MO has the same schema and dimensions; facts are restricted
-// to those selected. For the Weighted approach use SelectWeighted.
+// Select is the selection operator σ[p](O) (Eq. 36) under the
+// conservative or liberal approach, evaluated at query time t (binding
+// NOW in the predicate). The result MO has the same schema and
+// dimensions; facts are restricted to those selected. The weighted
+// approach is not expressible as a plain fact subset — its result is
+// only meaningful together with the per-fact certainty weights — so
+// passing Weighted is an error: call SelectWeighted and fold the pair
+// with AggregateWeighted instead.
 func Select(mo *mdm.MO, p *Predicate, t caltime.Day, approach Approach) (*mdm.MO, error) {
 	if approach == Weighted {
-		res, _, err := SelectWeighted(mo, p, t)
-		return res, err
+		return nil, fmt.Errorf("query: Select: the weighted approach needs per-fact certainty weights; use SelectWeighted with AggregateWeighted")
 	}
 	out := mdm.NewMO(mo.Schema())
 	out.SetFloors(mo.Floors())

@@ -1,0 +1,30 @@
+package query
+
+import (
+	"strings"
+	"testing"
+
+	"dimred/internal/dims"
+	"dimred/internal/mdm"
+	"dimred/internal/spec"
+)
+
+// TestSelectRejectsWeightedApproach pins the API contract: Select
+// cannot honor the weighted approach (it has nowhere to put the
+// per-fact certainty weights), so it must fail loudly instead of
+// silently degrading to the liberal answer, and the error must point
+// the caller at SelectWeighted.
+func TestSelectRejectsWeightedApproach(t *testing.T) {
+	p := dims.MustPaperMO()
+	env, err := spec.NewEnv(p.Schema, "Time", p.Time)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred := MustParsePred(`URL.domain_grp = ".com"`, env)
+	mo := mdm.NewMO(p.Schema)
+	if _, err := Select(mo, pred, 0, Weighted); err == nil {
+		t.Fatal("Select accepted the weighted approach")
+	} else if !strings.Contains(err.Error(), "SelectWeighted") {
+		t.Fatalf("Select's weighted error does not direct the caller to SelectWeighted: %v", err)
+	}
+}

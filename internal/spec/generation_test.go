@@ -1,0 +1,54 @@
+package spec
+
+import "testing"
+
+// TestGenerationTracksCommittedMutations pins the Generation contract
+// the specexec program cache depends on: every committed Insert or
+// Delete bumps it exactly once, and rejected mutations leave it alone.
+func TestGenerationTracksCommittedMutations(t *testing.T) {
+	_, env := paperEnv(t)
+	s, err := New(env, MustCompileString("a2", srcA2, env))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// New commits through Insert, so a fresh spec is at generation 1
+	// even when constructed from several actions.
+	if s.Generation() != 1 {
+		t.Fatalf("fresh spec generation = %d, want 1", s.Generation())
+	}
+	if Empty(env).Generation() != 0 {
+		t.Fatal("empty spec generation != 0")
+	}
+
+	// a1's bounded window is Growing only under a2's coarser cover, so
+	// it is insertable now.
+	a1 := MustCompileString("a1", srcA1, env)
+	if err := s.Insert(a1); err != nil {
+		t.Fatal(err)
+	}
+	if s.Generation() != 2 {
+		t.Fatalf("after Insert: generation = %d, want 2", s.Generation())
+	}
+
+	// Rejected mutations (duplicate name, nil action, unknown delete)
+	// must not bump.
+	if err := s.Insert(a1); err == nil {
+		t.Fatal("duplicate Insert accepted")
+	}
+	if err := s.Insert(nil); err == nil {
+		t.Fatal("nil Insert accepted")
+	}
+	if err := s.Delete(nil, 0, "nosuch"); err == nil {
+		t.Fatal("Delete of unknown action accepted")
+	}
+	if s.Generation() != 2 {
+		t.Fatalf("rejected mutations bumped generation to %d", s.Generation())
+	}
+
+	if err := s.Delete(nil, 0, "a1"); err != nil {
+		t.Fatal(err)
+	}
+	if s.Generation() != 3 {
+		t.Fatalf("after Delete: generation = %d, want 3", s.Generation())
+	}
+}

@@ -16,7 +16,26 @@ import (
 type Spec struct {
 	env     *Env
 	actions []*Action
+	// gen counts committed mutations of the action set. Specifications
+	// mutate in place, so derived structures (compiled specexec
+	// programs) cannot be cached by pointer alone; they key on
+	// (pointer, generation) instead and every mutator must bump the
+	// generation when it commits — the invariantcall lint analyzer
+	// enforces the discipline alongside the NonCrossing/Growing checks.
+	gen uint64
 }
+
+// Generation returns the specification's mutation generation: it
+// increases on every committed Insert or Delete and never otherwise, so
+// an unchanged generation (for the same *Spec) guarantees an unchanged
+// action set. Reads and mutations must be externally synchronized, as
+// for the action set itself (the warehouse holds its write lock across
+// mutators).
+func (s *Spec) Generation() uint64 { return s.gen }
+
+// bumpGeneration records a committed mutation of the action set. Every
+// write path of s.actions must call it (see Generation).
+func (s *Spec) bumpGeneration() { s.gen++ }
 
 // Empty returns a specification with no actions.
 func Empty(env *Env) *Spec {
@@ -80,6 +99,7 @@ func (s *Spec) Insert(newActions ...*Action) error {
 		return fmt.Errorf("spec: Insert rejected: %w", err)
 	}
 	s.actions = candidate
+	s.bumpGeneration()
 	return nil
 }
 
@@ -144,6 +164,7 @@ func (s *Spec) Delete(mo *mdm.MO, t caltime.Day, names ...string) error {
 		}
 	}
 	s.actions = remaining
+	s.bumpGeneration()
 	return nil
 }
 

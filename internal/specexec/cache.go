@@ -1,0 +1,104 @@
+package specexec
+
+import (
+	"sync/atomic"
+
+	"dimred/internal/caltime"
+	"dimred/internal/obs"
+	"dimred/internal/spec"
+)
+
+// routerSlots sizes the per-program day-keyed router cache. Queries
+// between two clock advances all ask for the same evaluation day, so a
+// handful of direct-mapped slots (day mod routerSlots) covers the
+// steady state plus tests that hop between a few nearby days.
+const routerSlots = 4
+
+// cacheEntry is one published cache state: the program compiled for one
+// (specification pointer, generation) pair plus its day-pinned routers.
+// Entries are immutable except for the router slots, which only ever go
+// from nil (or a stale day) to a router derived from the same program —
+// any value a reader observes is correct for the day it carries.
+type cacheEntry struct {
+	sp      *spec.Spec
+	gen     uint64
+	prog    *Program
+	routers [routerSlots]atomic.Pointer[Router]
+}
+
+// Cache memoizes the compiled Program of the most recent specification
+// state it has seen, keyed on (specification pointer, generation): the
+// generation is bumped by every Spec mutator, so an unchanged key
+// proves the action set is unchanged and the program may be reused.
+// Day-pinned Routers are cached per day alongside the program.
+//
+// Lookups are a single atomic pointer load, so they are cheap under the
+// warehouse's read lock. Fills are compute-then-swap: the lock-free
+// publish never holds a lock during compilation, and two goroutines
+// racing to fill simply compile twice — both programs are correct (the
+// generation cannot change mid-race, mutators being externally
+// serialized against compilation), one wins the publish and the other
+// stays private to its caller. Correctness never depends on which.
+//
+// The cache retains exactly one program; pointing it at a different
+// specification (or a new generation) replaces the entry. The optional
+// metric set records hits, misses and the retained bitset bytes.
+type Cache struct {
+	cur atomic.Pointer[cacheEntry]
+	met *obs.Metrics // nil disables instrumentation
+}
+
+// NewCache creates an empty cache recording into met (which may be nil).
+func NewCache(met *obs.Metrics) *Cache { return &Cache{met: met} }
+
+// entryFor returns the cache entry for the specification's current
+// generation, compiling and publishing a fresh program on miss.
+func (c *Cache) entryFor(sp *spec.Spec) *cacheEntry {
+	gen := sp.Generation()
+	old := c.cur.Load()
+	if old != nil && old.sp == sp && old.gen == gen {
+		if c.met != nil {
+			c.met.ProgramCacheHits.Inc()
+		}
+		return old
+	}
+	e := &cacheEntry{sp: sp, gen: gen, prog: Compile(sp)}
+	if c.met != nil {
+		c.met.ProgramCacheMisses.Inc()
+		c.met.ProgramCompiles.Inc()
+	}
+	if c.cur.CompareAndSwap(old, e) {
+		// BitsetBytes gauges what the cache retains, so only the
+		// published program counts; a lost race leaves the winner's
+		// figure in place.
+		if c.met != nil {
+			c.met.BitsetBytes.Set(e.prog.BitsetBytes())
+		}
+	}
+	return e
+}
+
+// ProgramFor returns the compiled program for the specification's
+// current action set, reusing the cached one when the generation is
+// unchanged.
+func (c *Cache) ProgramFor(sp *spec.Spec) *Program { return c.entryFor(sp).prog }
+
+// RouterAt returns the day-pinned router for the specification at
+// evaluation day t, reusing both the compiled program and — when t was
+// recently pinned — the router itself. Routers are immutable and shared
+// across goroutines, so handing the same *Router to concurrent queries
+// is safe (the subcube evaluator already shares one router across its
+// per-cube goroutines).
+func (c *Cache) RouterAt(sp *spec.Spec, t caltime.Day) *Router {
+	e := c.entryFor(sp)
+	slot := &e.routers[int(uint64(t)%routerSlots)]
+	if r := slot.Load(); r != nil && r.Day() == t {
+		if c.met != nil {
+			c.met.RouterCacheHits.Inc()
+		}
+		return r
+	}
+	r := e.prog.At(t)
+	slot.Store(r)
+	return r
+}

@@ -1,0 +1,177 @@
+package specexec_test
+
+import (
+	"sync"
+	"testing"
+
+	"dimred/internal/caltime"
+	"dimred/internal/obs"
+	"dimred/internal/spec"
+	"dimred/internal/specexec"
+)
+
+// cacheSpec builds a one-action spec plus a second action that the
+// decision procedures accept as an insertion, so tests can drive the
+// generation forward.
+func cacheSpec(t *testing.T) (*spec.Spec, *spec.Action) {
+	t.Helper()
+	_, env := buildClickEnv(t)
+	s, err := spec.New(env,
+		spec.MustCompileString("m", `aggregate [Time.month, URL.domain] where Time.month <= NOW - 2 months`, env))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, spec.MustCompileString("del", `delete where Time.year <= NOW - 2 years`, env)
+}
+
+// TestCacheGenerationKeyed pins the cache contract: an unchanged
+// (spec, generation) pair reuses the compiled program, a committed
+// mutation forces exactly one recompile, and a rejected mutation —
+// which leaves the generation alone — does not.
+func TestCacheGenerationKeyed(t *testing.T) {
+	s, del := cacheSpec(t)
+	met := obs.NewMetrics()
+	c := specexec.NewCache(met)
+
+	p1 := c.ProgramFor(s)
+	if p2 := c.ProgramFor(s); p2 != p1 {
+		t.Fatal("second ProgramFor with unchanged generation recompiled")
+	}
+	snap := met.Snapshot()
+	if snap.ProgramCompiles != 1 || snap.ProgramCacheMisses != 1 || snap.ProgramCacheHits != 1 {
+		t.Fatalf("after 2 lookups: compiles=%d misses=%d hits=%d, want 1/1/1",
+			snap.ProgramCompiles, snap.ProgramCacheMisses, snap.ProgramCacheHits)
+	}
+	if met.BitsetBytes.Load() != p1.BitsetBytes() {
+		t.Fatalf("BitsetBytes gauge = %d, want the retained program's %d",
+			met.BitsetBytes.Load(), p1.BitsetBytes())
+	}
+
+	// A rejected mutation leaves the generation — and the cache — alone.
+	gen := s.Generation()
+	if err := s.Insert(nil); err == nil {
+		t.Fatal("Insert(nil) unexpectedly accepted")
+	}
+	if s.Generation() != gen {
+		t.Fatalf("rejected Insert bumped the generation: %d -> %d", gen, s.Generation())
+	}
+	if c.ProgramFor(s) != p1 {
+		t.Fatal("rejected Insert invalidated the cache")
+	}
+
+	// A committed mutation bumps the generation and forces one recompile.
+	if err := s.Insert(del); err != nil {
+		t.Fatal(err)
+	}
+	if s.Generation() != gen+1 {
+		t.Fatalf("Insert bumped generation to %d, want %d", s.Generation(), gen+1)
+	}
+	p3 := c.ProgramFor(s)
+	if p3 == p1 {
+		t.Fatal("ProgramFor returned the stale pre-mutation program")
+	}
+	if p4 := c.ProgramFor(s); p4 != p3 {
+		t.Fatal("post-mutation program not cached")
+	}
+	if got := met.Snapshot().ProgramCompiles; got != 2 {
+		t.Fatalf("ProgramCompiles = %d after one mutation, want 2", got)
+	}
+
+	// Delete is a committed mutation too.
+	if err := s.Delete(nil, caltime.Date(2000, 9, 1), "del"); err != nil {
+		t.Fatal(err)
+	}
+	if s.Generation() != gen+2 {
+		t.Fatalf("Delete bumped generation to %d, want %d", s.Generation(), gen+2)
+	}
+	if c.ProgramFor(s) == p3 {
+		t.Fatal("ProgramFor returned the stale pre-Delete program")
+	}
+}
+
+// TestCacheRouterDay checks the day-keyed router slots: same day reuses
+// the pinned router, other days pin their own, a committed spec
+// mutation invalidates every pinned router, and negative days (before
+// the epoch) index safely.
+func TestCacheRouterDay(t *testing.T) {
+	s, del := cacheSpec(t)
+	met := obs.NewMetrics()
+	c := specexec.NewCache(met)
+
+	d := caltime.Date(2000, 9, 1)
+	r1 := c.RouterAt(s, d)
+	if r1.Day() != d {
+		t.Fatalf("RouterAt pinned day %v, want %v", r1.Day(), d)
+	}
+	if r2 := c.RouterAt(s, d); r2 != r1 {
+		t.Fatal("same-day RouterAt re-pinned a new router")
+	}
+	if got := met.Snapshot().RouterCacheHits; got != 1 {
+		t.Fatalf("RouterCacheHits = %d after one reuse, want 1", got)
+	}
+
+	// A different day pins its own router without evicting r1 (distinct
+	// slot for adjacent days).
+	r3 := c.RouterAt(s, d+1)
+	if r3 == r1 || r3.Day() != d+1 {
+		t.Fatalf("RouterAt(d+1) = day %v (same router %v)", r3.Day(), r3 == r1)
+	}
+	if c.RouterAt(s, d) != r1 {
+		t.Fatal("pinning an adjacent day evicted the original router")
+	}
+
+	// Days before the epoch are negative; the slot index must not be.
+	neg := caltime.Day(-3)
+	if r := c.RouterAt(s, neg); r.Day() != neg {
+		t.Fatalf("RouterAt(%v) pinned day %v", neg, r.Day())
+	}
+
+	// A committed mutation drops every pinned router with the program.
+	if err := s.Insert(del); err != nil {
+		t.Fatal(err)
+	}
+	r4 := c.RouterAt(s, d)
+	if r4 == r1 {
+		t.Fatal("spec mutation did not invalidate the pinned router")
+	}
+	if r4.Day() != d {
+		t.Fatalf("post-mutation router pinned day %v, want %v", r4.Day(), d)
+	}
+}
+
+// TestCacheConcurrentLookups hammers one cold cache from many
+// goroutines (run under -race in CI): duplicate compiles on the
+// publication race are fine, but every caller must get a program for
+// the right spec and a router for the day it asked.
+func TestCacheConcurrentLookups(t *testing.T) {
+	s, _ := cacheSpec(t)
+	c := specexec.NewCache(obs.NewMetrics())
+	days := []caltime.Day{
+		caltime.Date(2000, 3, 1), caltime.Date(2000, 9, 1),
+		caltime.Date(2001, 1, 1), caltime.Date(2002, 6, 15),
+	}
+	var wg sync.WaitGroup
+	errs := make(chan string, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				if p := c.ProgramFor(s); p.Spec() != s {
+					errs <- "ProgramFor returned a program for another spec"
+					return
+				}
+				d := days[(g+i)%len(days)]
+				if r := c.RouterAt(s, d); r.Day() != d {
+					errs <- "RouterAt returned a router pinned to another day"
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+}

@@ -76,10 +76,12 @@ type progAction struct {
 
 // Program is a compiled (Spec, Env) pair. It is immutable after
 // Compile; obtain a day-pinned Router with At. Because Spec.Insert and
-// Spec.Delete mutate the specification in place, a Program must be
-// recompiled after the specification changes — the engine compiles one
-// per synchronization or reduction, which costs one verdict per
-// (test, dimension value) instead of one per (test, row).
+// Spec.Delete mutate the specification in place, a Program is stale as
+// soon as the specification's Generation changes — the engine reuses
+// one through a generation-keyed Cache, so compilation happens once
+// per spec mutation instead of once per synchronization, reduction or
+// unsynchronized query, and costs one verdict per (test, dimension
+// value) instead of one per (test, row).
 type Program struct {
 	sp    *spec.Spec
 	env   *spec.Env

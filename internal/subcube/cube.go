@@ -89,6 +89,11 @@ type CubeSet struct {
 	// met is the engine metric set; it survives ApplySpec rebuilds so
 	// counters are cumulative over the cube set's lifetime.
 	met *obs.Metrics
+	// cache memoizes the compiled specexec program keyed on the spec's
+	// mutation generation, plus day-pinned routers, so steady-state
+	// queries between spec changes and clock advances are compile-free.
+	// Lookups are atomic loads, safe under the warehouse read lock.
+	cache *specexec.Cache
 	// interpret forces the uncompiled evaluation path (per-row predicate
 	// interpretation and serial apply). The differential tests and the
 	// before/after benchmarks flip it; production leaves it false.
@@ -112,6 +117,7 @@ func (cs *CubeSet) Metrics() *obs.Metrics { return cs.met }
 func New(sp *spec.Spec) (*CubeSet, error) {
 	env := sp.Env()
 	cs := &CubeSet{sp: sp, env: env, byGran: make(map[string]*Cube), met: obs.NewMetrics()}
+	cs.cache = specexec.NewCache(cs.met)
 	layout := storage.Layout{DimCols: env.Schema.NumDims(), MeasCols: len(env.Schema.Measures)}
 
 	bottom := &Cube{id: 0, gran: env.Schema.BottomGranularity(), store: storage.New(layout), index: newCellIndex(layout.DimCols)}
@@ -272,10 +278,7 @@ type cellEval struct {
 func (cs *CubeSet) newCellEval(sp *spec.Spec, t caltime.Day) *cellEval {
 	e := &cellEval{sp: sp, t: t}
 	if !cs.interpret {
-		prog := specexec.Compile(sp)
-		e.router = prog.At(t)
-		cs.met.ProgramCompiles.Inc()
-		cs.met.BitsetBytes.Set(prog.BitsetBytes())
+		e.router = cs.cache.RouterAt(sp, t)
 	}
 	return e
 }
@@ -488,8 +491,9 @@ func granPack(g mdm.Granularity) (uint64, bool) {
 	return k, true
 }
 
-// syncCompiled is the compiled synchronization. Phase 1 compiles the
-// specification once, then scans the cubes in parallel, probing the
+// syncCompiled is the compiled synchronization. Phase 1 fetches the
+// day-pinned router from the program cache (compiling only when the
+// spec generation changed), then scans the cubes in parallel, probing the
 // day-pinned router per row and extracting every mover's rolled-up row
 // into per-cube scratch. Phase 2 is parallel too: one goroutine per
 // cube owns that cube's store and index outright — it tombstones the
@@ -504,10 +508,7 @@ func (cs *CubeSet) syncCompiled(t caltime.Day) (int, error) {
 	nDims := schema.NumDims()
 	nMeas := len(schema.Measures)
 
-	prog := specexec.Compile(cs.sp)
-	router := prog.At(t)
-	cs.met.ProgramCompiles.Inc()
-	cs.met.BitsetBytes.Set(prog.BitsetBytes())
+	router := cs.cache.RouterAt(cs.sp, t)
 
 	// Destination lookup by packed granularity, falling back to the
 	// string-keyed byGran map above 8 dimensions.

@@ -133,18 +133,24 @@ func (cs *CubeSet) EvaluateTraced(q Query, t caltime.Day, tr *obs.Trace) (*mdm.M
 			defer wg.Done()
 			cubeStart := clk.Now()
 			var mo *mdm.MO
+			var weights []float64
 			var err error
 			scanned, kept := 0, 0
 			if synced {
 				// Fast path: evaluate the predicate during the cube scan
-				// and materialize only the selected rows.
-				mo, scanned, kept, err = cs.selectedMO(c, q, t)
+				// and materialize only the selected rows (with their
+				// certainty weights under the weighted approach).
+				mo, weights, scanned, kept, err = cs.selectedMO(c, q, t)
 			} else {
 				e := &cellEval{router: baseEval.router, sp: baseEval.sp, t: baseEval.t}
 				evals[i] = e
 				mo, scanned, err = cs.viewOf(c, e)
 				if err == nil && q.Pred != nil {
-					mo, err = query.Select(mo, q.Pred, t, q.Sel)
+					if q.Sel == query.Weighted {
+						mo, weights, err = query.SelectWeighted(mo, q.Pred, t)
+					} else {
+						mo, err = query.Select(mo, q.Pred, t, q.Sel)
+					}
 				}
 				if err == nil {
 					kept = mo.Len()
@@ -163,7 +169,16 @@ func (cs *CubeSet) EvaluateTraced(q Query, t caltime.Day, tr *obs.Trace) (*mdm.M
 				errs[i] = err
 				return
 			}
-			subresults[i], errs[i] = query.Aggregate(mo, q.Target, q.Agg)
+			if weights != nil {
+				// Weighted approach: scale each row's SUM contributions
+				// by its certainty weight while folding to the target
+				// (Definition 5/6 expected values). The pre-scaled
+				// subresult stays distributive, so the final cross-cube
+				// aggregation below needs no weights.
+				subresults[i], errs[i] = query.AggregateWeighted(mo, weights, q.Target, q.Agg)
+			} else {
+				subresults[i], errs[i] = query.Aggregate(mo, q.Target, q.Agg)
+			}
 		}(i, c)
 	}
 	wg.Wait()
@@ -217,10 +232,13 @@ func (cs *CubeSet) EvaluateTraced(q Query, t caltime.Day, tr *obs.Trace) (*mdm.M
 
 // selectedMO materializes the rows of cube c that satisfy the query's
 // predicate (under its selection approach) as an MO, evaluating the
-// predicate against storage rows directly. It also reports how many
-// rows the scan visited and how many survived the predicate, for the
-// observability layer.
-func (cs *CubeSet) selectedMO(c *Cube, q Query, t caltime.Day) (mo *mdm.MO, scanned, kept int, err error) {
+// predicate against storage rows directly. Under the weighted approach
+// it also returns each kept row's certainty weight, aligned with the
+// result MO's fact ids (cube cells are unique, so AddFactAt never
+// merges and the alignment holds). It reports how many rows the scan
+// visited and how many survived the predicate, for the observability
+// layer.
+func (cs *CubeSet) selectedMO(c *Cube, q Query, t caltime.Day) (mo *mdm.MO, weights []float64, scanned, kept int, err error) {
 	schema := cs.env.Schema
 	mo = mdm.NewMO(schema)
 	mo.SetFloors(c.gran)
@@ -235,13 +253,21 @@ func (cs *CubeSet) selectedMO(c *Cube, q Query, t caltime.Day) (mo *mdm.MO, scan
 		scanned++
 		c.store.Refs(r, refs)
 		if prep != nil {
-			cons, lib, _ := prep.EvaluateCell(query.Cell(refs))
+			cons, lib, w := prep.EvaluateCell(query.Cell(refs))
 			keep := cons
-			if q.Sel != query.Conservative {
+			switch q.Sel {
+			case query.Liberal:
 				keep = lib
+			case query.Weighted:
+				// Match SelectWeighted: keep rows that might satisfy,
+				// carrying the certainty out to the aggregation fold.
+				keep = lib && w > 0
 			}
 			if !keep {
 				return true
+			}
+			if q.Sel == query.Weighted {
+				weights = append(weights, w)
 			}
 		}
 		kept++
@@ -254,7 +280,7 @@ func (cs *CubeSet) selectedMO(c *Cube, q Query, t caltime.Day) (mo *mdm.MO, scan
 		}
 		return true
 	})
-	return mo, scanned, kept, failed
+	return mo, weights, scanned, kept, failed
 }
 
 // viewOf builds the synchronized view of cube c at the evaluator's day
@@ -318,7 +344,9 @@ func (cs *CubeSet) viewOf(c *Cube, e *cellEval) (mo *mdm.MO, scanned int, err er
 			return true
 		})
 		if failed != nil {
-			return nil, 0, failed
+			// Report the rows actually visited even on failure, so the
+			// RowsScanned counter and per-cube traces stay truthful.
+			return nil, scanned, failed
 		}
 	}
 	return mo, scanned, nil
