@@ -44,11 +44,21 @@ type cacheStats struct {
 }
 
 // benchReport is the BENCH_pr5.json shape: the measurement rows plus
-// the cache-counter citation. BENCH_pr4.json predates the wrapper and
-// is a bare row array; loadBenchRows reads both.
+// optional citations — the cache counters for the compiled Query run,
+// and the host parallelism for QPS runs (scaling figures are only
+// meaningful against the GOMAXPROCS they were measured at).
+// BENCH_pr4.json predates the wrapper and is a bare row array;
+// loadBenchReport reads both.
 type benchReport struct {
 	Rows  []benchRow  `json:"rows"`
 	Cache *cacheStats `json:"cache,omitempty"`
+	Env   *benchEnv   `json:"env,omitempty"`
+}
+
+// benchEnv records the parallelism the artifact was measured under.
+type benchEnv struct {
+	GOMAXPROCS int `json:"gomaxprocs"`
+	NumCPU     int `json:"num_cpu"`
 }
 
 // runBenchSuite measures the compiled-vs-interpreted pairs at the

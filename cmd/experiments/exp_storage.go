@@ -215,7 +215,7 @@ func runS4(w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	sc := sched.New(cs)
+	sc := sched.New(sp)
 	u, _ := sc.Unit()
 	fmt.Fprintf(w, "significant period: one %s (paper Section 7.2)\n", u)
 	start := time.Now()
@@ -229,13 +229,17 @@ func runS4(w io.Writer) error {
 		if (i+1)%(30*300) == 0 {
 			d := r[0].([]mdm.ValueID)[0]
 			_ = d
-			if _, err := sc.AdvanceTo(caltime.Date(2000, 1, 1) + caltime.Day((i+1)/300)); err != nil {
-				return err
+			if sc.AdvanceTo(caltime.Date(2000, 1, 1) + caltime.Day((i+1)/300)) {
+				if err := sched.SyncNow(sc, cs); err != nil {
+					return err
+				}
 			}
 		}
 	}
-	if _, err := sc.AdvanceTo(caltime.Date(2001, 1, 2)); err != nil {
-		return err
+	if sc.AdvanceTo(caltime.Date(2001, 1, 2)) {
+		if err := sched.SyncNow(sc, cs); err != nil {
+			return err
+		}
 	}
 	elapsed := time.Since(start)
 	fmt.Fprintf(w, "loaded %d facts with %d synchronizations (%d rows migrated) in %v\n",

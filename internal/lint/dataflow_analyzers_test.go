@@ -280,6 +280,31 @@ func Zeroed() int {
 func (w *W) Suppressed() bool {
 	return w.loaded //dimred:allow lockfield fixture exercises suppression
 }
+
+// snap is published to lock-free readers behind an atomic pointer.
+//
+//dimred:immutable
+type snap struct {
+	rows int
+	day  int
+}
+
+func NewSnap(rows int) *snap {
+	s := &snap{rows: rows}
+	s.day = 1 // fresh allocation: construction is allowed
+	return s
+}
+
+func (w *W) Republish(old *snap) *snap {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	old.day++ // want "write to field .*snap.day of //dimred:immutable-marked type snap"
+	return old
+}
+
+func ReadSnap(s *snap) int {
+	return s.rows // reads never need a lock on an immutable type
+}
 `,
 		"internal/client/client.go": `package client
 

@@ -8,6 +8,15 @@ import (
 	"strings"
 )
 
+// ImmutableDirective marks a struct type whose instances are published
+// to lock-free readers (the warehouse's epoch snapshots): after
+// construction, no field of the type may ever be written. The lockfield
+// analyzer flags every write to a field of a marked type whose base
+// object is not provably a fresh, unshared allocation — mutating a
+// published instance would race with readers that pinned it without
+// taking any lock.
+const ImmutableDirective = "//dimred:immutable"
+
 // NewLockField builds the lockfield analyzer: mutex-discipline
 // checking for the engine's shared state, closing the gap atomicfield
 // leaves for fields guarded by a sync.Mutex/RWMutex instead of
@@ -35,7 +44,12 @@ import (
 //     exit paths (the CFG's defers block), so a Lock at the top plus
 //     a deferred Unlock holds for the whole body;
 //   - function literals are opaque (a goroutine body has its own
-//     control flow); locks taken or released inside one are not seen.
+//     control flow); locks taken or released inside one are not seen;
+//   - types marked //dimred:immutable in their doc comment are
+//     frozen after construction: any write to their fields outside a
+//     fresh allocation is flagged, no lock excuses it — holding a
+//     writer lock does not help readers that pin such objects without
+//     one.
 func NewLockField() *Analyzer {
 	a := &Analyzer{
 		Name: "lockfield",
@@ -43,6 +57,32 @@ func NewLockField() *Analyzer {
 			"under that lock everywhere (reads may hold RLock)",
 	}
 	a.RunModule = func(units []*Unit) []Diagnostic {
+		// Types marked //dimred:immutable, keyed like owners (pkg.Type).
+		immutable := map[string]bool{}
+		for _, u := range units {
+			for _, f := range u.Files {
+				for _, decl := range f.Decls {
+					gd, ok := decl.(*ast.GenDecl)
+					if !ok || gd.Tok != token.TYPE {
+						continue
+					}
+					for _, s := range gd.Specs {
+						ts, ok := s.(*ast.TypeSpec)
+						if !ok {
+							continue
+						}
+						doc := ts.Doc
+						if doc == nil && len(gd.Specs) == 1 {
+							doc = gd.Doc
+						}
+						if docHasDirective(doc, ImmutableDirective) {
+							immutable[u.Pkg.Path()+"."+ts.Name.Name] = true
+						}
+					}
+				}
+			}
+		}
+
 		// Mutex fields per owner struct, for the *Locked convention.
 		ownerMutexes := map[string][]string{}
 		for _, u := range units {
@@ -104,8 +144,17 @@ func NewLockField() *Analyzer {
 		}
 
 		// Phase 3: every non-exempt access to a guarded field must
-		// hold one of its guards at the required strength.
+		// hold one of its guards at the required strength, and no
+		// non-exempt write may touch an immutable type at all.
 		var ds []Diagnostic
+		for _, a := range accesses {
+			if a.write && !a.exempt && immutable[a.owner] {
+				ds = append(ds, a.unit.Diag(a.pos,
+					"write to field %s of %s-marked type %s outside its construction; "+
+						"published instances are read by lock-free pinned readers",
+					a.key, ImmutableDirective, shortOwner(a.owner)))
+			}
+		}
 		for _, a := range accesses {
 			gs := guards[a.key]
 			if len(gs) == 0 || a.exempt {
@@ -553,4 +602,26 @@ func ownerPkgPrefix(owner string) string {
 		return owner[:i+1]
 	}
 	return ""
+}
+
+// shortOwner renders pkg.Type as just Type for diagnostics.
+func shortOwner(owner string) string {
+	if i := strings.LastIndex(owner, "."); i >= 0 {
+		return owner[i+1:]
+	}
+	return owner
+}
+
+// docHasDirective reports whether a doc comment contains the directive
+// as a full comment line.
+func docHasDirective(doc *ast.CommentGroup, directive string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if strings.TrimSpace(c.Text) == directive {
+			return true
+		}
+	}
+	return false
 }

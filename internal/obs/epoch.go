@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// epochShards is the number of pin-counter slots per snapshot side.
+// Sharding spreads the per-query pin/unpin pair over several cache
+// lines so concurrent readers do not serialize on one contended
+// counter — the contention the epoch-snapshot read path exists to
+// remove. Eight slots cover typical reader parallelism; above that,
+// slots are shared round-robin and still scale far better than one.
+const epochShards = 8
+
+// epochSlot is one padded pin counter. The padding keeps neighbouring
+// slots on distinct cache lines (64-byte lines; the counter itself is
+// 8 bytes).
+type epochSlot struct {
+	n atomic.Int64
+	_ [56]byte
+}
+
+// Epoch counts pinned readers per snapshot side of an RCU-style
+// double-buffered structure. A reader Pins the side its snapshot lives
+// on, re-validates the snapshot pointer, and Unpins when done; the
+// writer, after republishing, Drains the retired side before mutating
+// it. Pin handles are pooled and carry a fixed shard assignment, so a
+// steady-state pin/unpin is two uncontended atomic adds and no
+// allocation.
+type Epoch struct {
+	slots [2][epochShards]epochSlot
+	next  atomic.Uint64
+	pool  sync.Pool
+}
+
+// NewEpoch creates an epoch with no pinned readers on either side.
+func NewEpoch() *Epoch {
+	e := &Epoch{}
+	e.pool.New = func() any {
+		return &Pin{e: e, shard: uint32(e.next.Add(1) % epochShards)}
+	}
+	return e
+}
+
+// Pin is one reader's hold on a snapshot side. It is valid until
+// Unpin, which recycles it; a Pin must not be shared across goroutines
+// or used after Unpin.
+type Pin struct {
+	e     *Epoch
+	shard uint32
+	side  uint32
+}
+
+// Pin marks one reader active on the given side (0 or 1) and returns
+// the handle to release it with. Pinning alone does not make the side
+// safe to read: the caller must re-check that the snapshot it loaded
+// is still the published one, and retry if not (the writer may already
+// have drained the side before the pin landed).
+func (e *Epoch) Pin(side uint32) *Pin {
+	p := e.pool.Get().(*Pin)
+	p.side = side & 1
+	e.slots[p.side][p.shard].n.Add(1)
+	return p
+}
+
+// Unpin releases the pin and recycles the handle.
+func (p *Pin) Unpin() {
+	p.e.slots[p.side][p.shard].n.Add(-1)
+	p.e.pool.Put(p)
+}
+
+// Pins returns the number of currently pinned readers on side. Each
+// slot's count never dips below zero (a handle unpins the slot it
+// pinned), so a reader that pinned before the call and has not
+// unpinned keeps the sum positive.
+func (e *Epoch) Pins(side uint32) int64 {
+	var n int64
+	for i := range e.slots[side&1] {
+		n += e.slots[side&1][i].n.Load()
+	}
+	return n
+}
+
+// Drain waits until side has no pinned readers, yielding the processor
+// between polls, and reports whether it had to wait at all. Once the
+// published snapshot no longer references the side, the pin-recheck
+// protocol guarantees no new reader settles on it, so Drain
+// terminates as soon as the in-flight readers finish.
+func (e *Epoch) Drain(side uint32) bool {
+	if e.Pins(side) == 0 {
+		return false
+	}
+	for e.Pins(side) != 0 {
+		runtime.Gosched()
+	}
+	return true
+}

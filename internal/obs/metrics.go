@@ -49,6 +49,13 @@ type Metrics struct {
 	RowsScanned    Counter // rows visited by query scans
 	RowsSelected   Counter // scanned rows surviving the predicate
 
+	// Epoch-snapshot read path (warehouse).
+	SnapshotPublishes  Counter // snapshots published by writers (including clock-only refreshes)
+	SnapshotDrainWaits Counter // publishes that had to wait for pinned readers to drain
+	SnapshotRebuilds   Counter // sides rebuilt from a full clone after a failed operation
+	SnapshotEpoch      Gauge   // sequence number of the currently published snapshot
+	SnapshotsRetained  Gauge   // retired snapshots awaiting reader drain and replay
+
 	// Storage gauges, refreshed on snapshot.
 	LiveRows  Gauge // live rows across all cubes
 	LiveBytes Gauge // modeled fact bytes across all cubes
@@ -104,6 +111,12 @@ type MetricsSnapshot struct {
 	RowsScanned    int64
 	RowsSelected   int64
 
+	SnapshotPublishes  int64
+	SnapshotDrainWaits int64
+	SnapshotRebuilds   int64
+	SnapshotEpoch      int64
+	SnapshotsRetained  int64
+
 	SyncDuration  HistogramSnapshot
 	QueryDuration HistogramSnapshot
 
@@ -144,6 +157,12 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		RowsScanned:    m.RowsScanned.Load(),
 		RowsSelected:   m.RowsSelected.Load(),
 
+		SnapshotPublishes:  m.SnapshotPublishes.Load(),
+		SnapshotDrainWaits: m.SnapshotDrainWaits.Load(),
+		SnapshotRebuilds:   m.SnapshotRebuilds.Load(),
+		SnapshotEpoch:      m.SnapshotEpoch.Load(),
+		SnapshotsRetained:  m.SnapshotsRetained.Load(),
+
 		SyncDuration:  m.SyncDuration.Snapshot(),
 		QueryDuration: m.QueryDuration.Snapshot(),
 
@@ -182,6 +201,9 @@ func (s MetricsSnapshot) Sub(prev MetricsSnapshot) MetricsSnapshot {
 	d.CubesPruned -= prev.CubesPruned
 	d.RowsScanned -= prev.RowsScanned
 	d.RowsSelected -= prev.RowsSelected
+	d.SnapshotPublishes -= prev.SnapshotPublishes
+	d.SnapshotDrainWaits -= prev.SnapshotDrainWaits
+	d.SnapshotRebuilds -= prev.SnapshotRebuilds
 	return d
 }
 
@@ -213,6 +235,13 @@ func (s MetricsSnapshot) String() string {
 	padLabel(&b, "sync latency")
 	b.WriteString(s.SyncDuration.String())
 	b.WriteByte('\n')
+
+	b.WriteString("snapshots:\n")
+	row(&b, "publishes", s.SnapshotPublishes)
+	row(&b, "drain waits", s.SnapshotDrainWaits)
+	row(&b, "side rebuilds", s.SnapshotRebuilds)
+	row(&b, "epoch", s.SnapshotEpoch)
+	row(&b, "retained", s.SnapshotsRetained)
 
 	b.WriteString("queries:\n")
 	row(&b, "queries", s.Queries)

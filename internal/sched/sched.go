@@ -49,23 +49,29 @@ func SignificantPeriod(sp *spec.Spec) (caltime.Unit, bool) {
 	return second, true
 }
 
-// Scheduler drives a cube set's synchronization against a virtual clock.
+// Scheduler decides when a cube set must synchronize against a virtual
+// clock. It holds no reference to the cubes themselves: the caller asks
+// AdvanceTo whether a clock move crossed a significant-period boundary,
+// performs the synchronization against whichever cube set it owns (the
+// epoch-snapshot warehouse applies it to both of its sides), and
+// reports back with NoteSync. SyncNow packages the common
+// single-cube-set case.
 type Scheduler struct {
-	cubes  *subcube.CubeSet
 	unit   caltime.Unit
 	timed  bool // time passage requires syncing
 	now    caltime.Day
 	synced bool
-	// Syncs counts synchronizations performed, for experiments.
+	// Syncs counts synchronizations reported via NoteSync, for
+	// experiments.
 	Syncs int
-	// Moved counts rows migrated across all synchronizations.
+	// Moved counts rows migrated across all reported synchronizations.
 	Moved int
 }
 
-// New derives a scheduler for the cube set's specification.
-func New(cs *subcube.CubeSet) *Scheduler {
-	u, ok := SignificantPeriod(cs.Spec())
-	return &Scheduler{cubes: cs, unit: u, timed: ok}
+// New derives a scheduler for the specification.
+func New(sp *spec.Spec) *Scheduler {
+	u, ok := SignificantPeriod(sp)
+	return &Scheduler{unit: u, timed: ok}
 }
 
 // Unit returns the significant period's unit; ok is false when time
@@ -75,45 +81,57 @@ func (s *Scheduler) Unit() (caltime.Unit, bool) { return s.unit, s.timed }
 // Now returns the scheduler's current clock.
 func (s *Scheduler) Now() caltime.Day { return s.now }
 
-// AdvanceTo moves the clock to t, synchronizing when a significant
-// period boundary was crossed since the last synchronization. It reports
-// whether a synchronization ran.
-func (s *Scheduler) AdvanceTo(t caltime.Day) (bool, error) {
+// AdvanceTo moves the clock to t and reports whether the caller must
+// synchronize: a significant-period boundary was crossed since the last
+// reported synchronization (or none ever ran). A true return obliges
+// the caller to run the synchronization and report it with NoteSync;
+// skipping it leaves the scheduler demanding a sync on every subsequent
+// advance.
+func (s *Scheduler) AdvanceTo(t caltime.Day) bool {
 	if t < s.now {
-		return false, nil // the clock never runs backwards
+		return false // the clock never runs backwards
 	}
 	prev := s.now
 	s.now = t
 	if !s.timed {
-		return false, nil
+		return false
 	}
 	if s.synced && caltime.PeriodOf(prev, s.unit) == caltime.PeriodOf(t, s.unit) {
-		return false, nil
+		return false
 	}
-	return true, s.syncNow()
+	return true
 }
 
-// OnBulkLoad synchronizes after a bulk load, as the paper prescribes
-// ("synchronization is scheduled at the time of insertion").
-func (s *Scheduler) OnBulkLoad() error { return s.syncNow() }
+// NoteSync records a completed synchronization that moved the given
+// number of rows, satisfying the obligation created by AdvanceTo (and
+// the bulk-load rule: the paper schedules synchronization at the time
+// of insertion, so loaders call it after their post-load sync too).
+func (s *Scheduler) NoteSync(moved int) {
+	s.Syncs++
+	s.Moved += moved
+	s.synced = true
+}
 
 // Restore re-applies snapshot bookkeeping without synchronizing.
 func (s *Scheduler) Restore(now caltime.Day, synced bool) {
 	s.now, s.synced = now, synced
 }
 
-func (s *Scheduler) syncNow() error {
-	met := s.cubes.Metrics()
+// SyncNow synchronizes cs at the scheduler's clock, timing the round
+// into the cube set's metric set and reporting it to the scheduler. It
+// is the single-cube-set driver used by tests and experiments; the
+// warehouse owns two cube-set sides and runs the equivalent sequence
+// itself.
+func SyncNow(s *Scheduler, cs *subcube.CubeSet) error {
+	met := cs.Metrics()
 	clk := met.Clock()
 	start := clk.Now()
-	moved, err := s.cubes.Sync(s.now)
+	moved, err := cs.Sync(s.Now())
 	if err != nil {
 		return err
 	}
 	met.Syncs.Inc()
 	met.SyncDuration.Observe(clk.Since(start))
-	s.Syncs++
-	s.Moved += moved
-	s.synced = true
+	s.NoteSync(moved)
 	return nil
 }

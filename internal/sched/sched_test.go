@@ -67,24 +67,26 @@ func TestSchedulerAdvance(t *testing.T) {
 	if err := cs.InsertMO(p.MO); err != nil {
 		t.Fatal(err)
 	}
-	sc := New(cs)
+	sc := New(s)
 	if u, ok := sc.Unit(); !ok || u != caltime.UnitMonth {
 		t.Fatalf("unit = %v %v", u, ok)
 	}
 	// First advance synchronizes.
-	synced, err := sc.AdvanceTo(caltime.Date(2000, 3, 10))
-	if err != nil || !synced {
-		t.Fatalf("first advance: synced=%v err=%v", synced, err)
+	if !sc.AdvanceTo(caltime.Date(2000, 3, 10)) {
+		t.Fatal("first advance did not demand a sync")
+	}
+	if err := SyncNow(sc, cs); err != nil {
+		t.Fatal(err)
 	}
 	// Same month: no re-sync.
-	synced, err = sc.AdvanceTo(caltime.Date(2000, 3, 25))
-	if err != nil || synced {
-		t.Errorf("same-month advance synced=%v err=%v", synced, err)
+	if sc.AdvanceTo(caltime.Date(2000, 3, 25)) {
+		t.Error("same-month advance demanded a sync")
 	}
 	// Next month: sync again, and the June-1999-or-older facts migrate.
-	synced, err = sc.AdvanceTo(caltime.Date(2000, 6, 2))
-	if err != nil || !synced {
-		t.Errorf("cross-month advance synced=%v err=%v", synced, err)
+	if !sc.AdvanceTo(caltime.Date(2000, 6, 2)) {
+		t.Error("cross-month advance did not demand a sync")
+	} else if err := SyncNow(sc, cs); err != nil {
+		t.Fatal(err)
 	}
 	if sc.Syncs != 2 {
 		t.Errorf("Syncs = %d", sc.Syncs)
@@ -93,14 +95,14 @@ func TestSchedulerAdvance(t *testing.T) {
 		t.Error("no rows migrated by 2000/6")
 	}
 	// Clock never runs backwards.
-	if synced, _ := sc.AdvanceTo(caltime.Date(2000, 1, 1)); synced {
-		t.Error("backwards advance synchronized")
+	if sc.AdvanceTo(caltime.Date(2000, 1, 1)) {
+		t.Error("backwards advance demanded a sync")
 	}
 	if sc.Now() != caltime.Date(2000, 6, 2) {
 		t.Error("backwards advance moved the clock")
 	}
 	// Bulk load forces a sync regardless of period.
-	if err := sc.OnBulkLoad(); err != nil {
+	if err := SyncNow(sc, cs); err != nil {
 		t.Fatal(err)
 	}
 	if sc.Syncs != 3 {
@@ -127,13 +129,15 @@ func TestSyncLatencyDeterministic(t *testing.T) {
 	clk.SetStep(step)
 	cs.Metrics().SetClock(clk)
 
-	sc := New(cs)
+	sc := New(s)
 	for _, d := range []caltime.Day{caltime.Date(2000, 3, 10), caltime.Date(2000, 4, 2)} {
-		if _, err := sc.AdvanceTo(d); err != nil {
-			t.Fatal(err)
+		if sc.AdvanceTo(d) {
+			if err := SyncNow(sc, cs); err != nil {
+				t.Fatal(err)
+			}
 		}
 	}
-	if err := sc.OnBulkLoad(); err != nil {
+	if err := SyncNow(sc, cs); err != nil { // bulk-load sync
 		t.Fatal(err)
 	}
 	h := cs.Metrics().SyncDuration.Snapshot()
@@ -156,14 +160,14 @@ func TestSchedulerFixedSpecNeverTimesOut(t *testing.T) {
 	if err := cs.InsertMO(p.MO); err != nil {
 		t.Fatal(err)
 	}
-	sc := New(cs)
+	sc := New(s)
 	for _, d := range []caltime.Day{caltime.Date(2000, 1, 1), caltime.Date(2003, 1, 1)} {
-		if synced, err := sc.AdvanceTo(d); err != nil || synced {
-			t.Errorf("fixed spec synced at %v", d)
+		if sc.AdvanceTo(d) {
+			t.Errorf("fixed spec demanded a sync at %v", d)
 		}
 	}
 	// But bulk loads still synchronize.
-	if err := sc.OnBulkLoad(); err != nil {
+	if err := SyncNow(sc, cs); err != nil {
 		t.Fatal(err)
 	}
 	if sc.Syncs != 1 {

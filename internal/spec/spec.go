@@ -52,6 +52,17 @@ func New(env *Env, actions ...*Action) (*Spec, error) {
 	return s, nil
 }
 
+// Clone returns an independent specification with the same action set
+// and the same generation. Compiled actions are immutable, so the clone
+// shares them; the action slice itself is copied, and later mutations
+// of either specification leave the other untouched. The generation
+// carries over so that generation-keyed caches treat the clone as the
+// same logical state, and lockstep mutations of two clones keep their
+// generations equal.
+func (s *Spec) Clone() *Spec {
+	return &Spec{env: s.env, actions: append([]*Action(nil), s.actions...), gen: s.gen}
+}
+
 // Env returns the schema environment the specification is bound to.
 func (s *Spec) Env() *Env { return s.env }
 

@@ -51,6 +51,12 @@ type Cache struct {
 // NewCache creates an empty cache recording into met (which may be nil).
 func NewCache(met *obs.Metrics) *Cache { return &Cache{met: met} }
 
+// SetMetrics redirects the cache's instrumentation to m (nil disables
+// it). It is not synchronized against concurrent lookups: the
+// epoch-snapshot warehouse calls it only while the cube set owning the
+// cache is off the published read path.
+func (c *Cache) SetMetrics(m *obs.Metrics) { c.met = m }
+
 // entryFor returns the cache entry for the specification's current
 // generation, compiling and publishing a fresh program on miss.
 func (c *Cache) entryFor(sp *spec.Spec) *cacheEntry {

@@ -57,6 +57,27 @@ func New(layout Layout) *Store {
 // Layout returns the store's layout.
 func (s *Store) Layout() Layout { return s.layout }
 
+// Clone returns a deep copy of the store: same rows, same RowIDs, same
+// tombstones, with no columns shared. Mutating either store afterwards
+// leaves the other untouched.
+func (s *Store) Clone() *Store {
+	c := &Store{
+		layout: s.layout,
+		refs:   make([][]mdm.ValueID, len(s.refs)),
+		meas:   make([][]float64, len(s.meas)),
+		base:   append([]int64(nil), s.base...),
+		dead:   append([]bool(nil), s.dead...),
+		nDead:  s.nDead,
+	}
+	for i, col := range s.refs {
+		c.refs[i] = append([]mdm.ValueID(nil), col...)
+	}
+	for j, col := range s.meas {
+		c.meas[j] = append([]float64(nil), col...)
+	}
+	return c
+}
+
 // Append adds a row and returns its id. base counts the user-level facts
 // the row represents (at least 1).
 func (s *Store) Append(refs []mdm.ValueID, meas []float64, base int64) (RowID, error) {

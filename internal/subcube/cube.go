@@ -110,6 +110,60 @@ func (cs *CubeSet) SetInterpreted(v bool) { cs.interpret = v }
 // warehouse facade record into the same instance.
 func (cs *CubeSet) Metrics() *obs.Metrics { return cs.met }
 
+// SetMetrics redirects the cube set's instrumentation (including its
+// compiled-program cache's) to m. The epoch-snapshot warehouse uses it
+// to flip a retired side onto a discard metric set while replaying an
+// already-counted operation; it is not synchronized, so only call it on
+// a cube set that is off the published read path.
+func (cs *CubeSet) SetMetrics(m *obs.Metrics) {
+	cs.met = m
+	cs.cache.SetMetrics(m)
+}
+
+// Clone returns a deep copy of the cube set: an independent
+// specification clone (sharing the immutable actions), independent
+// stores and cell indexes, and a fresh empty program cache recording
+// into the same metric set. Cube IDs, row IDs and sync state carry
+// over, so a deterministic operation applied to both the original and
+// the clone leaves them in identical states. Clone only reads the
+// receiver and may run concurrently with queries against it.
+func (cs *CubeSet) Clone() *CubeSet {
+	c2 := &CubeSet{
+		sp:          cs.sp.Clone(),
+		env:         cs.env,
+		byGran:      make(map[string]*Cube, len(cs.byGran)),
+		lastSync:    cs.lastSync,
+		synced:      cs.synced,
+		deletedBase: cs.deletedBase,
+		met:         cs.met,
+		interpret:   cs.interpret,
+	}
+	c2.cache = specexec.NewCache(cs.met)
+	for _, c := range cs.cubes {
+		nc := &Cube{
+			id:          c.id,
+			gran:        c.gran,
+			actions:     c.actions,
+			store:       c.store.Clone(),
+			index:       c.index.clone(),
+			dayLo:       c.dayLo,
+			dayHi:       c.dayHi,
+			hasRange:    c.hasRange,
+			timeUnbound: c.timeUnbound,
+		}
+		c2.cubes = append(c2.cubes, nc)
+		c2.byGran[granKey(nc.gran)] = nc
+	}
+	// Parent edges point at the clone's cubes; IDs are positions, so the
+	// remap is a direct lookup.
+	for i, c := range cs.cubes {
+		for _, p := range c.parents {
+			c2.cubes[i].parents = append(c2.cubes[i].parents, c2.cubes[p.id])
+		}
+	}
+	return c2
+}
+
 // New builds the subcube layout for a specification: one cube per
 // distinct action target granularity, plus the bottom cube (which
 // corresponds to the catch-all disjoint action a_bottom of the Section

@@ -82,6 +82,22 @@ func (ix *cellIndex) del(cell []mdm.ValueID) {
 	delete(ix.str, string(buf))
 }
 
+// clone returns an independent copy of the index (the scratch buffer
+// is not shared).
+func (ix *cellIndex) clone() *cellIndex {
+	c := &cellIndex{width: ix.width, packed: make(map[uint64]storage.RowID, len(ix.packed))}
+	for k, r := range ix.packed {
+		c.packed[k] = r
+	}
+	if ix.str != nil {
+		c.str = make(map[string]storage.RowID, len(ix.str))
+		for k, r := range ix.str {
+			c.str[k] = r
+		}
+	}
+	return c
+}
+
 // applyRemap rewrites every entry through the row remapping returned
 // by Store.Compact, dropping entries whose rows were reclaimed.
 func (ix *cellIndex) applyRemap(remap []storage.RowID) {

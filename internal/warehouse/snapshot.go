@@ -9,6 +9,7 @@ import (
 	"dimred/internal/dims"
 	"dimred/internal/mdm"
 	"dimred/internal/spec"
+	"dimred/internal/subcube"
 )
 
 // snapshot DTOs: plain exported structs gob-encoded to disk. The format
@@ -70,20 +71,20 @@ type snapshotFile struct {
 // rows and clock state — so Load can reconstruct it byte-for-byte
 // equivalent (same value ids, same rows, same specification).
 func (w *Warehouse) Save(out io.Writer) error {
-	w.mu.RLock()
-	defer w.mu.RUnlock()
+	s, p := w.pin()
+	defer p.Unpin()
 
 	sf := snapshotFile{
 		Version:  snapshotVersion,
 		FactType: w.env.Schema.FactType,
-		Loaded:   w.loaded,
-		Deleted:  w.cubes.DeletedFacts(),
-		Now:      int64(w.sched.Now()),
+		Loaded:   w.loaded.Load(),
+		Deleted:  s.cubes.DeletedFacts(),
+		Now:      int64(s.now),
 	}
 	if w.env.TimeDim >= 0 {
 		sf.TimeDimName = w.env.Schema.Dims[w.env.TimeDim].Name()
 	}
-	if last, ok := w.cubes.LastSync(); ok {
+	if last, ok := s.cubes.LastSync(); ok {
 		sf.LastSync, sf.Synced = int64(last), true
 	}
 	for _, d := range w.env.Schema.Dims {
@@ -92,10 +93,10 @@ func (w *Warehouse) Save(out io.Writer) error {
 	for _, m := range w.env.Schema.Measures {
 		sf.Measures = append(sf.Measures, snapMeasure{Name: m.Name, Agg: int32(m.Agg)})
 	}
-	for _, a := range w.sp.Actions() {
+	for _, a := range s.cubes.Spec().Actions() {
 		sf.Actions = append(sf.Actions, snapAction{Name: a.Name(), Src: a.Source().String()})
 	}
-	for _, c := range w.cubes.Cubes() {
+	for _, c := range s.cubes.Cubes() {
 		mo, err := c.MO(w.env.Schema)
 		if err != nil {
 			return err
@@ -213,30 +214,36 @@ func Load(in io.Reader) (*Warehouse, *LoadedDims, error) {
 	if err != nil {
 		return nil, nil, fmt.Errorf("warehouse: Load: %w", err)
 	}
-	refs := make([]mdm.ValueID, len(dimensions))
-	for _, r := range sf.Rows {
-		if len(r.Refs) != len(refs) {
-			return nil, nil, fmt.Errorf("warehouse: Load: row arity mismatch")
+	// Restore rows and clock through the left-right commit so both
+	// cube-set sides converge and the published snapshot carries the
+	// restored clock.
+	w.wmu.Lock()
+	w.sched.Restore(caltime.Day(sf.Now), sf.Synced)
+	err = w.commitLocked(func(cs *subcube.CubeSet) error {
+		refs := make([]mdm.ValueID, len(dimensions))
+		for _, r := range sf.Rows {
+			if len(r.Refs) != len(refs) {
+				return fmt.Errorf("warehouse: Load: row arity mismatch")
+			}
+			for i, v := range r.Refs {
+				refs[i] = mdm.ValueID(v)
+			}
+			if err := cs.RestoreRow(refs, r.Meas, r.Base); err != nil {
+				return err
+			}
 		}
-		for i, v := range r.Refs {
-			refs[i] = mdm.ValueID(v)
-		}
-		if err := w.cubes.RestoreRow(refs, r.Meas, r.Base); err != nil {
-			return nil, nil, err
-		}
+		cs.RestoreSyncState(caltime.Day(sf.LastSync), sf.Synced, sf.Deleted)
+		return nil
+	})
+	w.wmu.Unlock()
+	if err != nil {
+		return nil, nil, err
 	}
-	// loaded is mu-guarded everywhere else; Load holds the lock too,
-	// even though w has not escaped yet, so the discipline is uniform
-	// (and lockfield-checkable) rather than "safe by publication".
-	w.mu.Lock()
-	w.loaded = sf.Loaded
-	w.mu.Unlock()
+	w.loaded.Store(sf.Loaded)
 	// Seed the cumulative metrics from the snapshot's bookkeeping so
 	// Metrics() agrees with Stats() after a restore.
 	w.met.FactsLoaded.Add(sf.Loaded)
 	w.met.FactsDeleted.Add(sf.Deleted)
-	w.cubes.RestoreSyncState(caltime.Day(sf.LastSync), sf.Synced, sf.Deleted)
-	w.sched.Restore(caltime.Day(sf.Now), sf.Synced)
 	return w, loaded, nil
 }
 

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"dimred/internal/caltime"
 	"dimred/internal/mdm"
@@ -24,20 +25,59 @@ import (
 
 // Warehouse combines a reduction specification, its subcube realization
 // and the synchronization scheduler behind a single API.
-// A Warehouse is safe for concurrent use: queries and stats may run in
-// parallel; loads, clock advances and specification updates are
-// serialized behind a write lock.
+//
+// A Warehouse is safe for concurrent use, with a lock-free read path:
+// it keeps two cube-set sides and publishes one of them, together with
+// the clock it was built at, as an immutable snapshot behind an atomic
+// pointer. Queries pin the current snapshot on an epoch counter and run
+// against it without taking any lock, so they can never observe a
+// half-applied specification or a mid-synchronization cube. Writers
+// (loads, clock advances, specification updates) serialize on wmu,
+// apply each operation to the unpublished working side, publish it with
+// one pointer swap, wait for readers pinned to the retired side to
+// drain, and then replay the same deterministic operation on the
+// retired side so the two sides converge — the retired side becomes the
+// next working side.
 type Warehouse struct {
-	mu    sync.RWMutex
-	env   *spec.Env
-	sp    *spec.Spec
+	env *spec.Env
+	// met is the engine metric set, shared with both cube-set sides and
+	// the scheduler so every layer records into one instance. discard
+	// absorbs the replay of an already-counted operation on the retired
+	// side, keeping counters single-counted.
+	met     *obs.Metrics
+	discard *obs.Metrics
+	// epoch counts pinned readers per side; publishing drains the
+	// retired side on it before the replay mutates that side.
+	epoch *obs.Epoch
+	// cur is the published snapshot. Written only under wmu; read by
+	// anyone.
+	cur atomic.Pointer[snapshot]
+	// loaded counts user facts ever loaded. It is updated after an
+	// operation commits, so a concurrent reader may briefly see a count
+	// one batch behind the published rows; Stats and Metrics pin a
+	// snapshot, so the skew is monitoring-only.
+	loaded atomic.Int64
+
+	// wmu serializes writers and guards the fields below.
+	wmu sync.Mutex
+	// working is the unpublished side the next operation applies to.
+	working *subcube.CubeSet
+	sched   *sched.Scheduler
+	seq     int64 // snapshot sequence, surfaced as SnapshotEpoch
+}
+
+// snapshot is one published read state: a cube-set side and the clock
+// it was built at. Snapshots are immutable once published — readers pin
+// them and evaluate without synchronization — and every publish
+// allocates a fresh one, so a pinned snapshot can never be recycled
+// under a reader.
+//
+//dimred:immutable
+type snapshot struct {
 	cubes *subcube.CubeSet
-	sched *sched.Scheduler
-	// met is the engine metric set, shared with the cube set and the
-	// scheduler so every layer records into one instance.
-	met *obs.Metrics
-	// loaded counts user facts ever loaded.
-	loaded int64
+	now   caltime.Day
+	side  uint32 // epoch side the cube set pins on
+	seq   int64
 }
 
 // Open creates a warehouse for the given environment and initial action
@@ -52,61 +92,242 @@ func Open(env *spec.Env, actions ...*spec.Action) (*Warehouse, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Warehouse{env: env, sp: sp, cubes: cs, sched: sched.New(cs), met: cs.Metrics()}, nil
+	w := &Warehouse{
+		env:     env,
+		met:     cs.Metrics(),
+		discard: obs.NewMetrics(),
+		epoch:   obs.NewEpoch(),
+		sched:   sched.New(sp),
+	}
+	w.working = cs.Clone()
+	w.cur.Store(&snapshot{cubes: cs, side: 0, seq: 0})
+	return w, nil
+}
+
+// pin returns the published snapshot with its side pinned against
+// reclamation; the caller must Unpin when done. The recheck closes the
+// publish race: a reader that pinned a side just as a writer swapped
+// the pointer retries, so after Drain observes zero pins the writer
+// knows no reader still holds (or can still acquire) the retired
+// snapshot.
+func (w *Warehouse) pin() (*snapshot, *obs.Pin) {
+	for {
+		s := w.cur.Load()
+		p := w.epoch.Pin(s.side)
+		if w.cur.Load() == s {
+			return s, p
+		}
+		p.Unpin()
+	}
+}
+
+// commitLocked runs one deterministic mutation through the left-right
+// protocol: apply to the working side, publish it, drain readers off
+// the retired side, replay on the retired side (with instrumentation
+// redirected to the discard metric set, so the operation is counted
+// once), and adopt the retired side as the next working side. An error
+// from the first application publishes nothing and rebuilds the working
+// side from a clone of the published one, restoring the two-side
+// invariant.
+func (w *Warehouse) commitLocked(op func(cs *subcube.CubeSet) error) error {
+	if err := op(w.working); err != nil {
+		w.rebuildWorkingLocked()
+		return err
+	}
+	retired := w.publishWorkingLocked()
+	rcs := retired.cubes
+	rcs.SetMetrics(w.discard)
+	err := op(rcs)
+	rcs.SetMetrics(w.met)
+	if err != nil {
+		// A deterministic op that succeeded on one side cannot fail on
+		// the other; if it somehow does, resynchronize the sides from
+		// the published state rather than diverge.
+		w.met.SnapshotRebuilds.Inc()
+		w.rebuildWorkingLocked()
+		return nil
+	}
+	w.working = rcs
+	return nil
+}
+
+// publishWorkingLocked swaps the working side in as the published
+// snapshot and waits for readers pinned to the previously published
+// side to drain. It returns the retired snapshot, whose cube set the
+// caller now owns exclusively.
+func (w *Warehouse) publishWorkingLocked() *snapshot {
+	old := w.cur.Load()
+	w.seq++
+	w.cur.Store(&snapshot{cubes: w.working, now: w.sched.Now(), side: 1 - old.side, seq: w.seq})
+	w.met.SnapshotPublishes.Inc()
+	w.met.SnapshotEpoch.Set(w.seq)
+	w.met.SnapshotsRetained.Set(1)
+	if w.epoch.Drain(old.side) {
+		w.met.SnapshotDrainWaits.Inc()
+	}
+	w.met.SnapshotsRetained.Set(0)
+	return old
+}
+
+// publishClockLocked republishes the current cube set with an updated
+// clock: clock-only advances change what queries evaluate NOW to, but
+// mutate no cube, so the snapshot keeps its side and nothing drains.
+func (w *Warehouse) publishClockLocked() {
+	old := w.cur.Load()
+	w.seq++
+	w.cur.Store(&snapshot{cubes: old.cubes, now: w.sched.Now(), side: old.side, seq: w.seq})
+	w.met.SnapshotPublishes.Inc()
+	w.met.SnapshotEpoch.Set(w.seq)
+}
+
+// rebuildWorkingLocked discards the working side and reclones it from
+// the published snapshot, after a failed operation left it (or could
+// have left it) diverged.
+func (w *Warehouse) rebuildWorkingLocked() {
+	w.working = w.cur.Load().cubes.Clone()
+}
+
+// syncLocked runs one timed synchronization round through the
+// left-right protocol and reports it to the scheduler.
+func (w *Warehouse) syncLocked() error { return w.syncWithLocked(nil) }
+
+// syncWithLocked is syncLocked with an optional preparatory operation
+// folded into the same commit: prep's mutations and the synchronization
+// that folds them publish as one snapshot, so readers never observe the
+// intermediate (e.g. a bulk-loaded but not yet reduced) state.
+func (w *Warehouse) syncWithLocked(prep func(cs *subcube.CubeSet) error) error {
+	clk := w.met.Clock()
+	start := clk.Now()
+	t := w.sched.Now()
+	var moved int
+	err := w.commitLocked(func(cs *subcube.CubeSet) error {
+		if prep != nil {
+			if err := prep(cs); err != nil {
+				return err
+			}
+		}
+		m, err := cs.Sync(t)
+		moved = m
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	w.met.Syncs.Inc()
+	w.met.SyncDuration.Observe(clk.Since(start))
+	w.sched.NoteSync(moved)
+	return nil
 }
 
 // Env returns the schema environment.
 func (w *Warehouse) Env() *spec.Env { return w.env }
 
-// Spec returns the active reduction specification.
-func (w *Warehouse) Spec() *spec.Spec { return w.sp }
+// Spec returns the active reduction specification (the published
+// side's; specification updates swap in a new snapshot).
+func (w *Warehouse) Spec() *spec.Spec { return w.cur.Load().cubes.Spec() }
 
-// Cubes returns the subcube realization.
-func (w *Warehouse) Cubes() *subcube.CubeSet { return w.cubes }
+// Cubes returns the published subcube realization, for inspection.
+// The returned cube set is the live read side: treat it as read-only,
+// and prefer the Warehouse methods (Sync, SetInterpreted) for anything
+// that mutates — mutating it directly races with lock-free readers.
+func (w *Warehouse) Cubes() *subcube.CubeSet { return w.cur.Load().cubes }
 
 // Now returns the warehouse clock.
-func (w *Warehouse) Now() caltime.Day {
-	w.mu.RLock()
-	defer w.mu.RUnlock()
-	return w.sched.Now()
-}
+func (w *Warehouse) Now() caltime.Day { return w.cur.Load().now }
 
 // AdvanceTo moves the clock to t; the scheduler synchronizes the
-// subcubes when a significant period boundary has been crossed.
+// subcubes when a significant period boundary has been crossed, and a
+// clock-only advance republishes the snapshot so queries evaluate NOW
+// at the new clock.
 func (w *Warehouse) AdvanceTo(t caltime.Day) error {
-	w.mu.Lock()
-	defer w.mu.Unlock()
+	w.wmu.Lock()
+	defer w.wmu.Unlock()
 	w.met.Advances.Inc()
-	_, err := w.sched.AdvanceTo(t)
-	return err
+	if w.sched.AdvanceTo(t) {
+		return w.syncLocked()
+	}
+	w.publishClockLocked()
+	return nil
+}
+
+// Sync forces a synchronization round at the current clock, outside the
+// scheduler's significant-period cadence.
+func (w *Warehouse) Sync() error {
+	w.wmu.Lock()
+	defer w.wmu.Unlock()
+	return w.syncLocked()
+}
+
+// SetInterpreted selects the interpreted evaluation path (true) or the
+// compiled specexec path (false, the default) on both cube-set sides.
+func (w *Warehouse) SetInterpreted(v bool) {
+	w.wmu.Lock()
+	defer w.wmu.Unlock()
+	// The flag is read by lock-free queries, so it flips through the
+	// same publish-and-drain protocol as any other mutation. The op
+	// cannot fail.
+	_ = w.commitLocked(func(cs *subcube.CubeSet) error {
+		cs.SetInterpreted(v)
+		return nil
+	})
 }
 
 // Load ingests one bottom-granularity fact.
 func (w *Warehouse) Load(refs []mdm.ValueID, meas []float64) error {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	return w.loadLocked(refs, meas)
-}
-
-func (w *Warehouse) loadLocked(refs []mdm.ValueID, meas []float64) error {
-	if err := w.cubes.Insert(refs, meas); err != nil {
+	w.wmu.Lock()
+	defer w.wmu.Unlock()
+	err := w.commitLocked(func(cs *subcube.CubeSet) error {
+		return cs.Insert(refs, meas)
+	})
+	if err != nil {
 		return err
 	}
-	w.loaded++
+	w.loaded.Add(1)
 	w.met.FactsLoaded.Inc()
 	return nil
 }
 
-// LoadBatch ingests facts and then synchronizes, the paper's bulk-load
-// discipline.
+// LoadBatch ingests facts and synchronizes, the paper's bulk-load
+// discipline. The batch and its synchronization commit as one
+// publication: queries see either the pre-batch warehouse or the
+// reduced post-sync one — never the loaded-but-unfolded batch — and a
+// row that fails validation publishes nothing.
 func (w *Warehouse) LoadBatch(rows func(load func(refs []mdm.ValueID, meas []float64) error) error) error {
-	w.mu.Lock()
-	defer w.mu.Unlock()
+	w.wmu.Lock()
+	defer w.wmu.Unlock()
 	w.met.BatchLoads.Inc()
-	if err := rows(w.loadLocked); err != nil {
+	// Buffer the callback's rows: the commit applies the batch to both
+	// sides, and user code must not be re-entered (or observe a
+	// half-applied side) on the replay.
+	type bufRow struct {
+		refs []mdm.ValueID
+		meas []float64
+	}
+	var buf []bufRow
+	err := rows(func(refs []mdm.ValueID, meas []float64) error {
+		buf = append(buf, bufRow{
+			refs: append([]mdm.ValueID(nil), refs...),
+			meas: append([]float64(nil), meas...),
+		})
+		return nil
+	})
+	if err != nil {
 		return err
 	}
-	return w.sched.OnBulkLoad()
+	err = w.syncWithLocked(func(cs *subcube.CubeSet) error {
+		for _, r := range buf {
+			if err := cs.Insert(r.refs, r.meas); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	w.loaded.Add(int64(len(buf)))
+	w.met.FactsLoaded.Add(int64(len(buf)))
+	return nil
 }
 
 // Query evaluates an OLAP query (the action-specification syntax,
@@ -117,9 +338,9 @@ func (w *Warehouse) Query(src string) (*mdm.MO, error) {
 	if err != nil {
 		return nil, err
 	}
-	w.mu.RLock()
-	defer w.mu.RUnlock()
-	return w.cubes.Evaluate(q, w.sched.Now())
+	s, p := w.pin()
+	defer p.Unpin()
+	return s.cubes.Evaluate(q, s.now)
 }
 
 // QueryWith evaluates a query with explicit selection and aggregation
@@ -130,16 +351,16 @@ func (w *Warehouse) QueryWith(src string, sel query.Approach, agg query.AggAppro
 		return nil, err
 	}
 	q.Sel, q.Agg = sel, agg
-	w.mu.RLock()
-	defer w.mu.RUnlock()
-	return w.cubes.Evaluate(q, w.sched.Now())
+	s, p := w.pin()
+	defer p.Unpin()
+	return s.cubes.Evaluate(q, s.now)
 }
 
 // QueryAt evaluates a prepared query at an explicit time.
 func (w *Warehouse) QueryAt(q subcube.Query, t caltime.Day) (*mdm.MO, error) {
-	w.mu.RLock()
-	defer w.mu.RUnlock()
-	return w.cubes.Evaluate(q, t)
+	s, p := w.pin()
+	defer p.Unpin()
+	return s.cubes.Evaluate(q, t)
 }
 
 // QueryTraced evaluates a query like Query and additionally returns an
@@ -150,22 +371,22 @@ func (w *Warehouse) QueryTraced(src string) (*mdm.MO, *obs.Trace, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	w.mu.RLock()
-	defer w.mu.RUnlock()
-	return w.queryTracedLocked(src, q, w.sched.Now())
+	s, p := w.pin()
+	defer p.Unpin()
+	return queryTraced(s, src, q, s.now)
 }
 
 // QueryAtTraced evaluates a prepared query at an explicit time with an
 // execution trace.
 func (w *Warehouse) QueryAtTraced(q subcube.Query, t caltime.Day) (*mdm.MO, *obs.Trace, error) {
-	w.mu.RLock()
-	defer w.mu.RUnlock()
-	return w.queryTracedLocked("", q, t)
+	s, p := w.pin()
+	defer p.Unpin()
+	return queryTraced(s, "", q, t)
 }
 
-func (w *Warehouse) queryTracedLocked(src string, q subcube.Query, t caltime.Day) (*mdm.MO, *obs.Trace, error) {
+func queryTraced(s *snapshot, src string, q subcube.Query, t caltime.Day) (*mdm.MO, *obs.Trace, error) {
 	tr := &obs.Trace{Query: src, At: t.String()}
-	mo, err := w.cubes.EvaluateTraced(q, t, tr)
+	mo, err := s.cubes.EvaluateTraced(q, t, tr)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -173,38 +394,47 @@ func (w *Warehouse) queryTracedLocked(src string, q subcube.Query, t caltime.Day
 }
 
 // InsertActions extends the specification (Definition 3) and rebuilds
-// the subcube layout for it.
+// the subcube layout for it. Queries racing with the update see either
+// the old layout or the new one, never a mixture.
 func (w *Warehouse) InsertActions(actions ...*spec.Action) error {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	if err := w.sp.Insert(actions...); err != nil {
-		return err
-	}
-	return w.cubes.ApplySpec(w.sp, w.sched.Now())
+	w.wmu.Lock()
+	defer w.wmu.Unlock()
+	t := w.sched.Now()
+	return w.commitLocked(func(cs *subcube.CubeSet) error {
+		sp := cs.Spec()
+		if err := sp.Insert(actions...); err != nil {
+			return err
+		}
+		return cs.ApplySpec(sp, t)
+	})
 }
 
 // DeleteActions removes actions (Definition 4: all or none, and only if
 // no removed action is responsible for any current row's level) and
 // rebuilds the subcube layout.
 func (w *Warehouse) DeleteActions(names ...string) error {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	// Materialize the current facts so the responsibility check of
-	// Definition 4 sees the warehouse state.
-	mo, err := w.materialize()
-	if err != nil {
-		return err
-	}
-	if err := w.sp.Delete(mo, w.sched.Now(), names...); err != nil {
-		return err
-	}
-	return w.cubes.ApplySpec(w.sp, w.sched.Now())
+	w.wmu.Lock()
+	defer w.wmu.Unlock()
+	t := w.sched.Now()
+	return w.commitLocked(func(cs *subcube.CubeSet) error {
+		// Materialize the current facts so the responsibility check of
+		// Definition 4 sees the warehouse state.
+		mo, err := materialize(w.env, cs)
+		if err != nil {
+			return err
+		}
+		sp := cs.Spec()
+		if err := sp.Delete(mo, t, names...); err != nil {
+			return err
+		}
+		return cs.ApplySpec(sp, t)
+	})
 }
 
-func (w *Warehouse) materialize() (*mdm.MO, error) {
-	out := mdm.NewMO(w.env.Schema)
-	for _, c := range w.cubes.Cubes() {
-		mo, err := c.MO(w.env.Schema)
+func materialize(env *spec.Env, cs *subcube.CubeSet) (*mdm.MO, error) {
+	out := mdm.NewMO(env.Schema)
+	for _, c := range cs.Cubes() {
+		mo, err := c.MO(env.Schema)
 		if err != nil {
 			return nil, err
 		}
@@ -222,9 +452,9 @@ func (w *Warehouse) materialize() (*mdm.MO, error) {
 // and what level each dimension is aggregated to — the paper's "why is
 // my data aggregated this way" requirement, at the facade.
 func (w *Warehouse) Explain(refs []mdm.ValueID) string {
-	w.mu.RLock()
-	defer w.mu.RUnlock()
-	return w.sp.Explain(refs, w.sched.Now())
+	s, p := w.pin()
+	defer p.Unpin()
+	return s.cubes.Spec().Explain(refs, s.now)
 }
 
 // ExportStar materializes the warehouse's current contents — rows of
@@ -233,9 +463,9 @@ func (w *Warehouse) Explain(refs []mdm.ValueID) string {
 // denormalized dimension table per dimension and one fact table whose
 // rows reference dimension values at whatever level they live at.
 func (w *Warehouse) ExportStar() (*relstore.Star, error) {
-	w.mu.RLock()
-	defer w.mu.RUnlock()
-	mo, err := w.materialize()
+	s, p := w.pin()
+	defer p.Unpin()
+	mo, err := materialize(w.env, s.cubes)
 	if err != nil {
 		return nil, err
 	}
@@ -285,12 +515,12 @@ func (s Stats) String() string {
 
 // Stats reports the warehouse's storage state.
 func (w *Warehouse) Stats() Stats {
-	w.mu.RLock()
-	defer w.mu.RUnlock()
-	st := Stats{LoadedFacts: w.loaded}
+	s, p := w.pin()
+	defer p.Unpin()
+	st := Stats{LoadedFacts: w.loaded.Load()}
 	layout := storage.Layout{DimCols: w.env.Schema.NumDims(), MeasCols: len(w.env.Schema.Measures)}
-	st.UnreducedBytes = w.loaded * layout.RowBytes()
-	for _, c := range w.cubes.Cubes() {
+	st.UnreducedBytes = st.LoadedFacts * layout.RowBytes()
+	for _, c := range s.cubes.Cubes() {
 		st.Rows += c.Rows()
 		st.FactBytes += c.Bytes()
 		st.PerCube = append(st.PerCube, CubeStat{
@@ -308,15 +538,16 @@ func (w *Warehouse) Stats() Stats {
 
 // Metrics refreshes the storage gauges and returns a point-in-time
 // snapshot of the engine metrics: ingest and fold counters, query and
-// synchronization latency histograms, and storage accounting. Counters
-// are cumulative since Open (or seeded from the snapshot after a
-// restore); snapshots may be subtracted to meter a window of work.
+// synchronization latency histograms, snapshot lifecycle counters, and
+// storage accounting. Counters are cumulative since Open (or seeded
+// from the snapshot after a restore); snapshots may be subtracted to
+// meter a window of work.
 func (w *Warehouse) Metrics() obs.MetricsSnapshot {
-	w.mu.RLock()
-	defer w.mu.RUnlock()
+	s, p := w.pin()
+	defer p.Unpin()
 	var rows, dead int
 	var bytes int64
-	for _, c := range w.cubes.Cubes() {
+	for _, c := range s.cubes.Cubes() {
 		rows += c.Rows()
 		dead += c.Dead()
 		bytes += c.Bytes()
@@ -329,6 +560,6 @@ func (w *Warehouse) Metrics() obs.MetricsSnapshot {
 	w.met.DeadRows.Set(int64(dead))
 	w.met.LiveBytes.Set(bytes)
 	w.met.DimBytes.Set(dimBytes)
-	w.met.CubeCount.Set(int64(len(w.cubes.Cubes())))
+	w.met.CubeCount.Set(int64(len(s.cubes.Cubes())))
 	return w.met.Snapshot()
 }

@@ -106,7 +106,7 @@ func TestWeightedFacadeProperties(t *testing.T) {
 	if err := w.AdvanceTo(at); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := w.Cubes().Sync(at); err != nil {
+	if err := w.Sync(); err != nil {
 		t.Fatal(err)
 	}
 
@@ -127,7 +127,7 @@ func TestWeightedFacadeProperties(t *testing.T) {
 	for _, interpret := range []bool{false, true} {
 		name := map[bool]string{false: "compiled", true: "interpreted"}[interpret]
 		t.Run(name, func(t *testing.T) {
-			w.Cubes().SetInterpreted(interpret)
+			w.SetInterpreted(interpret)
 
 			// Synchronized path; the trace proves which path ran.
 			weighted, tr, err := w.QueryAtTraced(q, at)
