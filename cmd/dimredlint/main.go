@@ -1,9 +1,11 @@
 // Command dimredlint is the repository's multichecker: it runs the
 // domain-invariant analyzers of internal/lint (wallclock, atomicfield,
-// invariantcall, errwrap, plus the dataflow-powered purity, nowflow
-// and lockfield passes) together with stdlib reimplementations of the
-// x/tools nilness and shadow passes over the module, and exits
-// non-zero when any finding survives //dimred:allow suppression.
+// invariantcall, errwrap, the dataflow-powered purity, nowflow and
+// lockfield passes, plus the interprocedural snapalias and clonecheck
+// passes built on the module call graph) together with stdlib
+// reimplementations of the x/tools nilness and shadow passes over the
+// module, and exits non-zero when any finding survives //dimred:allow
+// suppression.
 //
 // Usage:
 //

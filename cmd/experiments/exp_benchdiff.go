@@ -54,8 +54,13 @@ func pathPair(op string) (base, improved string) {
 }
 
 // speedups computes, per op present in rows, how many times faster the
-// improved path is than its baseline path.
-func speedups(rows []benchRow) map[string]float64 {
+// improved path is than its baseline path. An op measuring neither side
+// of its pair has nothing to compare and is skipped; an op with one
+// side missing, or with a zero, negative or NaN measurement, is an
+// error naming the op — a silent skip would let a bench that stopped
+// producing a figure (or divided into +Inf downstream) grandfather in
+// any regression behind it.
+func speedups(rows []benchRow) (map[string]float64, error) {
 	ns := make(map[string]map[string]float64)
 	for _, r := range rows {
 		if ns[r.Op] == nil {
@@ -66,11 +71,26 @@ func speedups(rows []benchRow) map[string]float64 {
 	out := make(map[string]float64)
 	for op, paths := range ns {
 		base, improved := pathPair(op)
-		if paths[improved] > 0 && paths[base] > 0 {
-			out[op] = paths[base] / paths[improved]
+		bv, hasBase := paths[base]
+		iv, hasImproved := paths[improved]
+		if !hasBase && !hasImproved {
+			continue // op does not measure this pair: nothing to compare
 		}
+		if !hasBase || !hasImproved {
+			present, absent := base, improved
+			if !hasBase {
+				present, absent = improved, base
+			}
+			return nil, fmt.Errorf("op %s: path %q measured but pair path %q missing", op, present, absent)
+		}
+		// !(x > 0) rather than x <= 0: NaN fails every comparison.
+		if !(bv > 0) || !(iv > 0) {
+			return nil, fmt.Errorf("op %s: non-positive or NaN ns/op (%s=%v, %s=%v); refusing to compute a speedup",
+				op, base, bv, improved, iv)
+		}
+		out[op] = bv / iv
 	}
-	return out
+	return out, nil
 }
 
 // qpsByOpPath extracts queries-per-second per "op/path" from QPS rows.
@@ -127,7 +147,14 @@ func runBenchDiff(spec string) error {
 	if err != nil {
 		return err
 	}
-	oldS, newS := speedups(oldReport.Rows), speedups(newReport.Rows)
+	oldS, err := speedups(oldReport.Rows)
+	if err != nil {
+		return fmt.Errorf("%s: %w", parts[0], err)
+	}
+	newS, err := speedups(newReport.Rows)
+	if err != nil {
+		return fmt.Errorf("%s: %w", parts[1], err)
+	}
 
 	ops := make([]string, 0, len(oldS))
 	for op := range oldS {

@@ -1,0 +1,81 @@
+package main
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestSpeedups covers the pair arithmetic and its failure modes: a
+// healthy pair yields baseline/improved, an op measuring neither pair
+// path is skipped, and a missing pair half or a zero/NaN measurement
+// fails loudly with the op named — never a silent skip or a +Inf ratio.
+func TestSpeedups(t *testing.T) {
+	t.Run("healthy pair", func(t *testing.T) {
+		s, err := speedups([]benchRow{
+			{Op: "Sync", Path: "interpreted", NsPerOp: 300},
+			{Op: "Sync", Path: "compiled", NsPerOp: 100},
+			{Op: "ReadQPS/g8", Path: "locked", NsPerOp: 80},
+			{Op: "ReadQPS/g8", Path: "snapshot", NsPerOp: 20},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := s["Sync"]; got != 3 {
+			t.Errorf("Sync speedup = %v, want 3", got)
+		}
+		if got := s["ReadQPS/g8"]; got != 4 {
+			t.Errorf("ReadQPS/g8 speedup = %v, want 4", got)
+		}
+	})
+
+	t.Run("neither pair path is skipped", func(t *testing.T) {
+		s, err := speedups([]benchRow{
+			{Op: "Sync", Path: "somethingelse", NsPerOp: 100},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(s) != 0 {
+			t.Errorf("expected no comparable ops, got %v", s)
+		}
+	})
+
+	t.Run("half a pair fails naming the op", func(t *testing.T) {
+		_, err := speedups([]benchRow{
+			{Op: "Sync", Path: "compiled", NsPerOp: 100},
+		})
+		if err == nil {
+			t.Fatal("expected an error for a missing pair path")
+		}
+		if !strings.Contains(err.Error(), "Sync") || !strings.Contains(err.Error(), "interpreted") {
+			t.Errorf("error should name the op and the missing path: %v", err)
+		}
+	})
+
+	t.Run("zero baseline fails instead of +Inf", func(t *testing.T) {
+		_, err := speedups([]benchRow{
+			{Op: "Sync", Path: "interpreted", NsPerOp: 100},
+			{Op: "Sync", Path: "compiled", NsPerOp: 0},
+		})
+		if err == nil {
+			t.Fatal("expected an error for a zero measurement")
+		}
+		if !strings.Contains(err.Error(), "Sync") {
+			t.Errorf("error should name the op: %v", err)
+		}
+	})
+
+	t.Run("NaN fails", func(t *testing.T) {
+		_, err := speedups([]benchRow{
+			{Op: "Sync", Path: "interpreted", NsPerOp: math.NaN()},
+			{Op: "Sync", Path: "compiled", NsPerOp: 100},
+		})
+		if err == nil {
+			t.Fatal("expected an error for a NaN measurement")
+		}
+		if !strings.Contains(err.Error(), "Sync") {
+			t.Errorf("error should name the op: %v", err)
+		}
+	})
+}

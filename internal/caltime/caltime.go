@@ -162,6 +162,16 @@ func (d Day) String() string {
 	return fmt.Sprintf("%d/%d/%d", y, m, dd)
 }
 
+// MinYear and MaxYear bound the years accepted in time literals. Every
+// period index encoding multiplies the year (by 12, by 4), so an
+// unbounded year would overflow int64 and render as a negative literal
+// the grammar cannot re-parse; a million years comfortably covers any
+// warehouse clock while staying far from the overflow edge.
+const (
+	MinYear = 0
+	MaxYear = 999999
+)
+
 // ParseDay parses "1999/12/4" (also accepting zero-padded components).
 func ParseDay(s string) (Day, error) {
 	parts := strings.Split(s, "/")
@@ -177,7 +187,7 @@ func ParseDay(s string) (Day, error) {
 		nums[i] = n
 	}
 	y, m, dd := nums[0], nums[1], nums[2]
-	if m < 1 || m > 12 || dd < 1 || dd > 31 {
+	if y < MinYear || y > MaxYear || m < 1 || m > 12 || dd < 1 || dd > 31 {
 		return 0, fmt.Errorf("caltime: day literal %q out of range", s)
 	}
 	d := Date(y, m, dd)
@@ -291,7 +301,7 @@ func ParsePeriod(s string) (Period, error) {
 	if i := strings.IndexByte(s, 'W'); i > 0 {
 		y, err1 := strconv.Atoi(s[:i])
 		w, err2 := strconv.Atoi(s[i+1:])
-		if err1 != nil || err2 != nil || w < 1 || w > 53 {
+		if err1 != nil || err2 != nil || y < MinYear || y > MaxYear || w < 1 || w > 53 {
 			return Period{}, fmt.Errorf("caltime: invalid week literal %q", s)
 		}
 		// Week w of ISO year y: the week containing January 4th is week 1.
@@ -306,7 +316,7 @@ func ParsePeriod(s string) (Period, error) {
 	if i := strings.IndexByte(s, 'Q'); i > 0 {
 		y, err1 := strconv.Atoi(s[:i])
 		q, err2 := strconv.Atoi(s[i+1:])
-		if err1 != nil || err2 != nil || q < 1 || q > 4 {
+		if err1 != nil || err2 != nil || y < MinYear || y > MaxYear || q < 1 || q > 4 {
 			return Period{}, fmt.Errorf("caltime: invalid quarter literal %q", s)
 		}
 		return Period{UnitQuarter, int64(y)*4 + int64(q-1)}, nil
@@ -322,13 +332,13 @@ func ParsePeriod(s string) (Period, error) {
 		parts := strings.SplitN(s, "/", 2)
 		y, err1 := strconv.Atoi(parts[0])
 		m, err2 := strconv.Atoi(parts[1])
-		if err1 != nil || err2 != nil || m < 1 || m > 12 {
+		if err1 != nil || err2 != nil || y < MinYear || y > MaxYear || m < 1 || m > 12 {
 			return Period{}, fmt.Errorf("caltime: invalid month literal %q", s)
 		}
 		return Period{UnitMonth, int64(y)*12 + int64(m-1)}, nil
 	case 0:
 		y, err := strconv.Atoi(s)
-		if err != nil {
+		if err != nil || y < MinYear || y > MaxYear {
 			return Period{}, fmt.Errorf("caltime: invalid time literal %q", s)
 		}
 		return Period{UnitYear, int64(y)}, nil

@@ -113,7 +113,7 @@ func TestParseDay(t *testing.T) {
 	if got := d.String(); got != "1999/12/4" {
 		t.Errorf("String = %q", got)
 	}
-	for _, bad := range []string{"1999/2/30", "1999/13/1", "1999/0/1", "x/y/z", "1999/12", ""} {
+	for _, bad := range []string{"1999/2/30", "1999/13/1", "1999/0/1", "x/y/z", "1999/12", "", "-4/1/1", "100000000000000000/1/1"} {
 		if _, err := ParseDay(bad); err == nil {
 			t.Errorf("ParseDay(%q) succeeded, want error", bad)
 		}
@@ -160,7 +160,14 @@ func TestPeriodStringParseRoundTrip(t *testing.T) {
 			t.Errorf("ParsePeriod(%q).String() = %q", s, got)
 		}
 	}
-	for _, bad := range []string{"1999W54", "1999Q5", "1999/13", "abc", "1999/2/30", "W48"} {
+	// Years outside [MinYear, MaxYear] must be rejected in every literal
+	// form: an unbounded year overflows the period index encodings and
+	// renders as a negative literal that cannot re-parse.
+	for _, bad := range []string{
+		"1999W54", "1999Q5", "1999/13", "abc", "1999/2/30", "W48",
+		"100000000000000000/1", "100000000000000000/1/1", "100000000000000000",
+		"100000000000000000Q1", "100000000000000000W1", "-1/1", "-1", "-1Q1",
+	} {
 		if _, err := ParsePeriod(bad); err == nil {
 			t.Errorf("ParsePeriod(%q) succeeded, want error", bad)
 		}

@@ -29,6 +29,8 @@ func FuzzParsePred(f *testing.F) {
 		`Time.month <= NOW - 99999999999999999999 months`,
 		"Time.month \x00 1999",
 		`Time.month = 1999/2/30`,
+		// Year overflow: must be rejected, not rendered as a negative year.
+		`A.A=100000000000000000/1`,
 	}
 	for _, s := range seeds {
 		f.Add(s)

@@ -15,6 +15,8 @@ func All() []*Analyzer {
 		NewPurity(),
 		NewNowflow(DefaultNowflowRestricted),
 		NewLockField(),
+		NewSnapAlias(),
+		NewCloneCheck(),
 		NewNilness(),
 		NewShadow(),
 	}

@@ -1,0 +1,115 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// SharedDirective marks a struct field that a Clone deliberately shares
+// between the original and the copy instead of deep-copying, with a
+// mandatory one-line reason:
+//
+//	//dimred:shared <reason>
+//
+// clonecheck accepts a direct copy of an annotated reference field, and
+// snapalias stops deriving immutability through it: the annotation is a
+// reviewed claim that the shared object is safe to reach from both
+// sides of a publish boundary (e.g. it is internally synchronized, or
+// frozen by construction).
+const SharedDirective = "//dimred:shared"
+
+// collectImmutableTypes returns the //dimred:immutable-marked struct
+// types of the loaded units, keyed like owners (pkg.Type). The
+// directive must be a full line of the type's doc comment.
+func collectImmutableTypes(units []*Unit) map[string]bool {
+	immutable := map[string]bool{}
+	for _, u := range units {
+		for _, f := range u.Files {
+			for _, decl := range f.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok || gd.Tok != token.TYPE {
+					continue
+				}
+				for _, s := range gd.Specs {
+					ts, ok := s.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					doc := ts.Doc
+					if doc == nil && len(gd.Specs) == 1 {
+						doc = gd.Doc
+					}
+					if docHasDirective(doc, ImmutableDirective) {
+						immutable[u.Pkg.Path()+"."+ts.Name.Name] = true
+					}
+				}
+			}
+		}
+	}
+	return immutable
+}
+
+// sharedField is one //dimred:shared-annotated struct field.
+type sharedField struct {
+	unit   *Unit
+	pos    token.Pos
+	reason string // "" when the mandatory reason is missing
+}
+
+// collectSharedFields returns the //dimred:shared-annotated struct
+// fields of the loaded units, keyed pkg.Type.field. The directive sits
+// in the field's doc comment or trailing line comment.
+func collectSharedFields(units []*Unit) map[string]sharedField {
+	shared := map[string]sharedField{}
+	for _, u := range units {
+		for _, f := range u.Files {
+			for _, decl := range f.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok || gd.Tok != token.TYPE {
+					continue
+				}
+				for _, s := range gd.Specs {
+					ts, ok := s.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					st, ok := ts.Type.(*ast.StructType)
+					if !ok {
+						continue
+					}
+					owner := u.Pkg.Path() + "." + ts.Name.Name
+					for _, field := range st.Fields.List {
+						reason, ok := sharedDirectiveOf(field)
+						if !ok {
+							continue
+						}
+						for _, name := range field.Names {
+							shared[owner+"."+name.Name] = sharedField{
+								unit: u, pos: name.Pos(), reason: reason,
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return shared
+}
+
+// sharedDirectiveOf extracts a //dimred:shared directive's reason from
+// a struct field's doc or line comment.
+func sharedDirectiveOf(field *ast.Field) (reason string, ok bool) {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			if c.Text != SharedDirective && !strings.HasPrefix(c.Text, SharedDirective+" ") {
+				continue
+			}
+			return strings.TrimSpace(strings.TrimPrefix(c.Text, SharedDirective)), true
+		}
+	}
+	return "", false
+}

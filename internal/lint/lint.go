@@ -27,13 +27,27 @@
 //   - purity: functions marked //dimred:aggregate — the distributive
 //     default aggregates Definition 6's Group_high folds in arbitrary
 //     order — must not write package state, read the clock, or range
-//     over maps, transitively over the static call graph.
+//     over maps, transitively over the module call graph.
 //   - nowflow: a taint analysis ensuring every caltime.Day used as an
 //     evaluation time descends from an explicit t/now parameter or
 //     clock seam, never from a literal or ad-hoc construction.
 //   - lockfield: a lockset analysis ensuring a struct field written
 //     under a sync.Mutex/RWMutex is accessed under that mutex
 //     everywhere (mutex-guarded complement of atomicfield).
+//
+// Two analyzers are interprocedural, built on a module-wide call graph
+// (callgraph.go) with per-function escape summaries computed bottom-up
+// in SCC order:
+//
+//   - snapalias: references derived from //dimred:immutable values —
+//     getter returns, field reads, arguments, closure captures — must
+//     never reach a write; the summaries carry the obligation across
+//     function boundaries, where lockfield's store-site check cannot
+//     see it.
+//   - clonecheck: every field of a struct built inside a Clone method
+//     must be provably cloned, copied by reference-free value, or
+//     annotated //dimred:shared with a reason — a forgotten field
+//     aliases state across the left-right publish boundary.
 //
 // Findings can be suppressed in source with a comment on the offending
 // line or the line directly above it:

@@ -57,31 +57,7 @@ func NewLockField() *Analyzer {
 			"under that lock everywhere (reads may hold RLock)",
 	}
 	a.RunModule = func(units []*Unit) []Diagnostic {
-		// Types marked //dimred:immutable, keyed like owners (pkg.Type).
-		immutable := map[string]bool{}
-		for _, u := range units {
-			for _, f := range u.Files {
-				for _, decl := range f.Decls {
-					gd, ok := decl.(*ast.GenDecl)
-					if !ok || gd.Tok != token.TYPE {
-						continue
-					}
-					for _, s := range gd.Specs {
-						ts, ok := s.(*ast.TypeSpec)
-						if !ok {
-							continue
-						}
-						doc := ts.Doc
-						if doc == nil && len(gd.Specs) == 1 {
-							doc = gd.Doc
-						}
-						if docHasDirective(doc, ImmutableDirective) {
-							immutable[u.Pkg.Path()+"."+ts.Name.Name] = true
-						}
-					}
-				}
-			}
-		}
+		immutable := collectImmutableTypes(units)
 
 		// Mutex fields per owner struct, for the *Locked convention.
 		ownerMutexes := map[string][]string{}

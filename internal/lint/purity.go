@@ -23,8 +23,11 @@ import (
 //     order-sensitive fold over a map is nondeterministic; iterate a
 //     sorted slice instead).
 //
-// The call graph is static: calls through function values and
-// interface methods are not followed, matching invariantcall.
+// Purity is inferred over the module call graph (callgraph.go): the
+// closure follows direct calls, calls made inside function literals,
+// and referenced method/function values, so a sort.Slice comparator or
+// a stored callback no longer hides an impurity. Dynamic dispatch
+// through interfaces remains invisible, matching invariantcall.
 const AggregateDirective = "//dimred:aggregate"
 
 // purityFacts is what the purity analyzer records per function.
@@ -32,7 +35,6 @@ type purityFacts struct {
 	unit     *Unit
 	decl     *ast.FuncDecl
 	marked   bool
-	calls    []string // static module-internal callees, FullName
 	offenses []purityOffense
 }
 
@@ -50,30 +52,16 @@ func NewPurity() *Analyzer {
 			"write package state, read the clock, or range over maps — transitively",
 	}
 	a.RunModule = func(units []*Unit) []Diagnostic {
-		modulePkgs := map[string]bool{}
-		for _, u := range units {
-			modulePkgs[u.Path] = true
-		}
+		cg := BuildCallGraph(units)
 
 		facts := map[string]*purityFacts{}
 		var roots []string
-		for _, u := range units {
-			for _, f := range u.Files {
-				for _, decl := range f.Decls {
-					fd, ok := decl.(*ast.FuncDecl)
-					if !ok || fd.Body == nil {
-						continue
-					}
-					fn, ok := u.Info.Defs[fd.Name].(*types.Func)
-					if !ok {
-						continue
-					}
-					pf := collectPurityFacts(u, fd, modulePkgs)
-					facts[fn.FullName()] = pf
-					if pf.marked {
-						roots = append(roots, fn.FullName())
-					}
-				}
+		for _, key := range cg.keys {
+			node := cg.Nodes[key]
+			pf := collectPurityFacts(node.Unit, node.Decl)
+			facts[key] = pf
+			if pf.marked {
+				roots = append(roots, key)
 			}
 		}
 		sort.Strings(roots)
@@ -112,7 +100,7 @@ func NewPurity() *Analyzer {
 							pf.decl.Name.Name, off.desc, rootName))
 					}
 				}
-				for _, callee := range pf.calls {
+				for _, callee := range cg.Nodes[key].Calls {
 					walk(callee)
 				}
 			}
@@ -137,10 +125,13 @@ func hasDirective(fd *ast.FuncDecl, directive string) bool {
 	return false
 }
 
-// collectPurityFacts gathers one function's calls and purity offenses.
-// Function literals are opaque: effects inside a closure belong to the
-// closure, which the static call graph does not follow anyway.
-func collectPurityFacts(u *Unit, fd *ast.FuncDecl, modulePkgs map[string]bool) *purityFacts {
+// collectPurityFacts gathers one function's purity offenses. Function
+// literals are scanned as part of their enclosing declaration — the
+// call graph attributes a closure's calls to the function that builds
+// it, so its direct effects must count here too. The pointer-aliasing
+// check (*p = x against reaching definitions) stays limited to the
+// declaration's own body: the CFG does not model closure control flow.
+func collectPurityFacts(u *Unit, fd *ast.FuncDecl) *purityFacts {
 	pf := &purityFacts{unit: u, decl: fd, marked: hasDirective(fd, AggregateDirective)}
 
 	// Reaching definitions are built on demand, only when the body
@@ -168,9 +159,12 @@ func collectPurityFacts(u *Unit, fd *ast.FuncDecl, modulePkgs map[string]bool) *
 	offend := func(n ast.Node, desc string) {
 		pf.offenses = append(pf.offenses, purityOffense{unit: u, node: n, desc: desc})
 	}
-	checkWrite := func(lhs ast.Expr, stmt ast.Node) {
+	checkWrite := func(lhs ast.Expr, stmt ast.Node, inClosure bool) {
 		lhs = ast.Unparen(lhs)
 		if star, ok := lhs.(*ast.StarExpr); ok {
+			if inClosure {
+				return // no CFG inside a closure: skip the alias check
+			}
 			// *p = x: consult reaching definitions of p; flag only
 			// when a reaching def provably aliases a package var.
 			id, ok := ast.Unparen(star.X).(*ast.Ident)
@@ -204,40 +198,52 @@ func collectPurityFacts(u *Unit, fd *ast.FuncDecl, modulePkgs map[string]bool) *
 		}
 	}
 
-	inspectNoFuncLit(fd.Body, func(n ast.Node) bool {
-		switch n := n.(type) {
-		case *ast.AssignStmt:
-			for _, lhs := range n.Lhs {
-				checkWrite(lhs, n)
-			}
-		case *ast.IncDecStmt:
-			checkWrite(n.X, n)
-		case *ast.RangeStmt:
-			if tv, ok := u.Info.Types[n.X]; ok {
-				if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
-					offend(n, "ranges over a map (iteration order is randomized)")
+	// scanBody visits one function body's own nodes, then recurses into
+	// its directly nested function literals with inClosure set: a
+	// closure's direct effects belong to the declaration that builds
+	// it, matching the call graph's attribution of its calls.
+	var scanBody func(body ast.Node, inClosure bool)
+	scanBody = func(body ast.Node, inClosure bool) {
+		inspectNoFuncLit(body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range n.Lhs {
+					checkWrite(lhs, n, inClosure)
+				}
+			case *ast.IncDecStmt:
+				checkWrite(n.X, n, inClosure)
+			case *ast.RangeStmt:
+				if tv, ok := u.Info.Types[n.X]; ok {
+					if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+						offend(n, "ranges over a map (iteration order is randomized)")
+					}
+				}
+			case *ast.CallExpr:
+				fn := calleeFunc(u.Info, n)
+				if fn == nil || fn.Pkg() == nil {
+					return true
+				}
+				pkgPath := fn.Pkg().Path()
+				if pkgPath == "time" && forbiddenTimeFuncs[fn.Name()] {
+					offend(n, "calls time."+fn.Name())
+				}
+				if pathMatches(pkgPath, []string{"internal/obs"}) && (fn.Name() == "Now" || fn.Name() == "Since") {
+					if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+						offend(n, "reads the clock via obs."+fn.Name())
+					}
 				}
 			}
-		case *ast.CallExpr:
-			fn := calleeFunc(u.Info, n)
-			if fn == nil || fn.Pkg() == nil {
-				return true
+			return true
+		})
+		ast.Inspect(body, func(n ast.Node) bool {
+			if fl, ok := n.(*ast.FuncLit); ok && n != body {
+				scanBody(fl.Body, true)
+				return false
 			}
-			pkgPath := fn.Pkg().Path()
-			if pkgPath == "time" && forbiddenTimeFuncs[fn.Name()] {
-				offend(n, "calls time."+fn.Name())
-			}
-			if pathMatches(pkgPath, []string{"internal/obs"}) && (fn.Name() == "Now" || fn.Name() == "Since") {
-				if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
-					offend(n, "reads the clock via obs."+fn.Name())
-				}
-			}
-			if modulePkgs[pkgPath] {
-				pf.calls = append(pf.calls, fn.FullName())
-			}
-		}
-		return true
-	})
+			return true
+		})
+	}
+	scanBody(fd.Body, false)
 	return pf
 }
 

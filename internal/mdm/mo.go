@@ -21,6 +21,7 @@ type FactID int32
 // aggregate formation lowers to the result granularity (the result MO's
 // dimensions are subdimensions per Definition 6).
 type MO struct {
+	//dimred:shared dimensions are immutable once populated for an analysis; clones deliberately share the schema
 	schema *Schema
 	refs   [][]ValueID
 	meas   [][]float64

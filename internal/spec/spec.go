@@ -14,6 +14,7 @@ import (
 // Growing: the constructors and the insert/delete operators reject
 // updates that would violate them, per Definitions 3 and 4.
 type Spec struct {
+	//dimred:shared the schema environment is frozen after construction; every Spec over a schema shares one Env
 	env     *Env
 	actions []*Action
 	// gen counts committed mutations of the action set. Specifications

@@ -30,8 +30,9 @@ import (
 // conservative: deletes and migrations never shrink it, so it can only
 // over-approximate the live range.
 type Cube struct {
-	id      int
-	gran    mdm.Granularity
+	id   int
+	gran mdm.Granularity
+	//dimred:shared compiled actions are immutable after spec validation; every clone shares them
 	actions []*spec.Action // actions targeting this granularity (empty for the bottom cube)
 	store   *storage.Store
 	index   *cellIndex
@@ -77,7 +78,8 @@ func (c *Cube) Bytes() int64 { return c.store.Bytes() }
 // CubeSet is the collection of subcubes realizing one reduction
 // specification over one schema.
 type CubeSet struct {
-	sp       *spec.Spec
+	sp *spec.Spec
+	//dimred:shared the schema environment is frozen after construction; clones deliberately share it
 	env      *spec.Env
 	cubes    []*Cube
 	byGran   map[string]*Cube
@@ -88,6 +90,7 @@ type CubeSet struct {
 	deletedBase int64
 	// met is the engine metric set; it survives ApplySpec rebuilds so
 	// counters are cumulative over the cube set's lifetime.
+	//dimred:shared the metric substrate is all-atomic by design (atomicfield enforces it); clones record into the same instance
 	met *obs.Metrics
 	// cache memoizes the compiled specexec program keyed on the spec's
 	// mutation generation, plus day-pinned routers, so steady-state
@@ -142,7 +145,7 @@ func (cs *CubeSet) Clone() *CubeSet {
 	for _, c := range cs.cubes {
 		nc := &Cube{
 			id:          c.id,
-			gran:        c.gran,
+			gran:        append(mdm.Granularity(nil), c.gran...),
 			actions:     c.actions,
 			store:       c.store.Clone(),
 			index:       c.index.clone(),

@@ -83,9 +83,9 @@ func (ix *cellIndex) del(cell []mdm.ValueID) {
 }
 
 // clone returns an independent copy of the index (the scratch buffer
-// is not shared).
+// is not shared: the clone starts with a nil buf and grows its own).
 func (ix *cellIndex) clone() *cellIndex {
-	c := &cellIndex{width: ix.width, packed: make(map[uint64]storage.RowID, len(ix.packed))}
+	c := &cellIndex{width: ix.width, packed: make(map[uint64]storage.RowID, len(ix.packed)), buf: nil}
 	for k, r := range ix.packed {
 		c.packed[k] = r
 	}
