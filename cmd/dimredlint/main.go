@@ -1,22 +1,27 @@
 // Command dimredlint is the repository's multichecker: it runs the
 // domain-invariant analyzers of internal/lint (wallclock, atomicfield,
 // invariantcall, errwrap, the dataflow-powered purity, nowflow and
-// lockfield passes, plus the interprocedural snapalias and clonecheck
-// passes built on the module call graph) together with stdlib
+// lockfield passes, the interprocedural snapalias, clonecheck,
+// lockorder, gospawn and publishcheck passes built on the module call
+// graph, and the unknowndirective hygiene pass) together with stdlib
 // reimplementations of the x/tools nilness and shadow passes over the
 // module, and exits non-zero when any finding survives //dimred:allow
-// suppression.
+// suppression. Analyzers execute concurrently on a bounded worker
+// pool; output order is identical to a serial run.
 //
 // Usage:
 //
-//	dimredlint [-only a,b] [-list] [-json] [-audit] [packages...]
+//	dimredlint [-only a,b] [-list] [-json] [-audit] [-stats file] [packages...]
 //
 // Packages default to ./... relative to the current directory. -json
 // emits one JSON object per finding (file, line, col, analyzer,
 // message) for machine consumers such as the CI problem matcher.
-// -audit lists every //dimred:allow suppression in the tree with its
-// mandatory reason instead of running the analyzers. Exit status: 0
-// clean, 1 findings, 2 usage or load failure.
+// -audit lists every reasoned escape hatch in the tree — //dimred:allow
+// suppressions plus //dimred:detached (gospawn) and //dimred:replay
+// (publishcheck) directives — with its mandatory reason instead of
+// running the analyzers. -stats writes a JSON array of per-analyzer
+// wall time and finding counts to the given file after a run. Exit
+// status: 0 clean, 1 findings, 2 usage or load failure.
 package main
 
 import (
@@ -41,7 +46,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
 	list := fs.Bool("list", false, "list the bundled analyzers and exit")
 	jsonOut := fs.Bool("json", false, "emit findings as JSON, one object per line")
-	audit := fs.Bool("audit", false, "list every //dimred:allow suppression with its reason and exit")
+	audit := fs.Bool("audit", false, "list every suppression escape (allow/detached/replay) with its reason and exit")
+	statsPath := fs.String("stats", "", "write per-analyzer wall-time and finding counts as JSON to this file")
 	dir := fs.String("C", ".", "directory to run in (the module to analyze)")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -86,7 +92,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	if *audit {
-		allows := lint.Audit(units)
+		allows := lint.AuditEscapes(units)
 		if *jsonOut {
 			enc := json.NewEncoder(stdout)
 			for _, al := range allows {
@@ -109,7 +115,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 0
 	}
 
-	diags := lint.Run(units, analyzers)
+	diags, stats := lint.RunStats(units, analyzers)
+	if *statsPath != "" {
+		if err := writeStats(*statsPath, stats); err != nil {
+			fmt.Fprintf(stderr, "dimredlint: %v\n", err)
+			return 2
+		}
+	}
 	if *jsonOut {
 		enc := json.NewEncoder(stdout)
 		for _, d := range diags {
@@ -134,6 +146,33 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	return 0
+}
+
+// writeStats renders per-analyzer statistics as one JSON array, the
+// shape the CI lint job turns into its step summary table.
+func writeStats(path string, stats []lint.AnalyzerStat) error {
+	rows := make([]jsonStat, len(stats))
+	for i, s := range stats {
+		rows[i] = jsonStat{
+			Analyzer:   s.Name,
+			Millis:     s.Elapsed.Seconds() * 1000,
+			Findings:   s.Findings,
+			Suppressed: s.Suppressed,
+		}
+	}
+	data, err := json.MarshalIndent(rows, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// jsonStat is one -stats row.
+type jsonStat struct {
+	Analyzer   string  `json:"analyzer"`
+	Millis     float64 `json:"millis"`
+	Findings   int     `json:"findings"`
+	Suppressed int     `json:"suppressed"`
 }
 
 // jsonFinding is the stable machine-readable finding shape; the GitHub

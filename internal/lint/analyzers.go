@@ -2,12 +2,16 @@ package lint
 
 // All returns every analyzer the dimredlint multichecker bundles, with
 // the repository's default configuration: the domain-invariant passes
-// (the dataflow-powered purity/nowflow/lockfield trio among them) plus
-// the stdlib reimplementations of the x/tools nilness and shadow vet
+// (the dataflow-powered purity/nowflow/lockfield trio among them), the
+// interprocedural call-graph passes (snapalias, clonecheck, and the
+// concurrency-soundness wall of lockorder, gospawn and publishcheck),
+// the directive hygiene pass (unknowndirective, fed every bundled
+// analyzer name so it can validate //dimred:allow targets), plus the
+// stdlib reimplementations of the x/tools nilness and shadow vet
 // passes (the module deliberately carries no external dependencies, so
 // the x/tools originals cannot be vendored).
 func All() []*Analyzer {
-	return []*Analyzer{
+	as := []*Analyzer{
 		NewWallclock(DefaultWallclockRestricted),
 		NewAtomicField(),
 		NewInvariantCall(DefaultInvariantConfig),
@@ -17,7 +21,16 @@ func All() []*Analyzer {
 		NewLockField(),
 		NewSnapAlias(),
 		NewCloneCheck(),
+		NewLockOrder(),
+		NewGoSpawn(),
+		NewPublishCheck(),
 		NewNilness(),
 		NewShadow(),
 	}
+	names := make([]string, 0, len(as)+1)
+	for _, a := range as {
+		names = append(names, a.Name)
+	}
+	names = append(names, "unknowndirective")
+	return append(as, NewUnknownDirective(names))
 }

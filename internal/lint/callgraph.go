@@ -4,6 +4,7 @@ import (
 	"go/ast"
 	"go/types"
 	"sort"
+	"sync"
 )
 
 // This file builds the module-wide call graph the interprocedural
@@ -70,6 +71,34 @@ func BuildCallGraph(units []*Unit) *CallGraph {
 	}
 	sort.Strings(cg.keys)
 	return cg
+}
+
+// Six analyzers (purity, snapalias, clonecheck, lockorder, gospawn,
+// publishcheck) walk the same graph, and the parallel runner may ask
+// for it concurrently, so one lint run builds it once. Units are never
+// mutated after Load, which makes memoization sound; the cache keys on
+// the leading unit (unique per Load) and remembers only the latest
+// module, so scratch test modules do not accumulate.
+var cgCache struct {
+	mu    sync.Mutex
+	key   *Unit
+	graph *CallGraph
+}
+
+// moduleCallGraph returns the (memoized) call graph for a loaded unit
+// set.
+func moduleCallGraph(units []*Unit) *CallGraph {
+	if len(units) == 0 {
+		return &CallGraph{Nodes: map[string]*CGNode{}}
+	}
+	cgCache.mu.Lock()
+	defer cgCache.mu.Unlock()
+	if cgCache.key == units[0] {
+		return cgCache.graph
+	}
+	g := BuildCallGraph(units)
+	cgCache.key, cgCache.graph = units[0], g
+	return g
 }
 
 // referencedFuncs collects the FullNames of module-internal functions a

@@ -3,6 +3,7 @@ package lint
 import (
 	"go/ast"
 	"go/token"
+	"go/types"
 	"strings"
 )
 
@@ -18,6 +19,128 @@ import (
 // sides of a publish boundary (e.g. it is internally synchronized, or
 // frozen by construction).
 const SharedDirective = "//dimred:shared"
+
+// DetachedDirective marks a go statement whose goroutine intentionally
+// has no join or termination edge, with a mandatory reason:
+//
+//	//dimred:detached <reason>
+//
+// on the go statement's line or the line directly above it. gospawn
+// accepts the annotation in place of a provable sync.WaitGroup pair or
+// channel close.
+const DetachedDirective = "//dimred:detached"
+
+// ReplayDirective marks a function as part of the epoch protocol's
+// drain-then-replay side, with a mandatory reason:
+//
+//	//dimred:replay <reason>
+//
+// as a full line of the function's doc comment. publishcheck exempts
+// such functions from the no-writes-after-publish rule; they redirect
+// retired state under the writer lock after readers have drained.
+const ReplayDirective = "//dimred:replay"
+
+// directiveContext classifies the syntactic positions where a
+// //dimred: directive takes effect.
+type directiveContext int
+
+const (
+	ctxAnyLine   directiveContext = iota // keyed to a source line, wherever it is
+	ctxStructDoc                         // full line of a struct type's doc comment
+	ctxFieldDoc                          // doc or line comment of a named struct's field
+	ctxFuncDoc                           // full line of a function's doc comment
+	ctxGoStmt                            // the go statement's line, or the line above
+)
+
+// directiveSpec is one entry of the directive registry.
+type directiveSpec struct {
+	name          string
+	wantsAnalyzer bool   // first argument must name a registered analyzer
+	wantsReason   bool   // mandatory free-text reason
+	reasonOwner   string // analyzer that reports a missing reason itself ("" = unknowndirective does)
+	contexts      []directiveContext
+	where         string // human description of the required position
+}
+
+// knownDirectives is the registry every //dimred: comment is validated
+// against. A directive missing from this table is a typo, and a typo'd
+// directive is a silent soundness hole — the analyzer it was meant to
+// configure never sees it — so unknowndirective makes any unregistered
+// or malformed //dimred: comment a blocking finding.
+var knownDirectives = []directiveSpec{
+	{name: "allow", wantsAnalyzer: true, wantsReason: true,
+		contexts: []directiveContext{ctxAnyLine},
+		where:    "the offending line or the line directly above it"},
+	{name: "aggregate",
+		contexts: []directiveContext{ctxFuncDoc},
+		where:    "a function's doc comment"},
+	{name: "immutable",
+		contexts: []directiveContext{ctxStructDoc},
+		where:    "a struct type's doc comment"},
+	{name: "shared", wantsReason: true, reasonOwner: "clonecheck",
+		contexts: []directiveContext{ctxFieldDoc},
+		where:    "a struct field's doc or line comment"},
+	{name: "detached", wantsReason: true,
+		contexts: []directiveContext{ctxGoStmt},
+		where:    "a go statement's line or the line directly above it"},
+	{name: "replay", wantsReason: true,
+		contexts: []directiveContext{ctxFuncDoc},
+		where:    "a function's doc comment"},
+}
+
+func directiveByName(name string) *directiveSpec {
+	for i := range knownDirectives {
+		if knownDirectives[i].name == name {
+			return &knownDirectives[i]
+		}
+	}
+	return nil
+}
+
+// collectReplayFuncs returns the //dimred:replay-annotated functions of
+// the loaded units, keyed by types.Func.FullName, with their reasons.
+// A reasonless replay directive confers nothing (and is itself an
+// unknowndirective finding).
+func collectReplayFuncs(units []*Unit) map[string]string {
+	replay := map[string]string{}
+	for _, u := range units {
+		for _, f := range u.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Doc == nil {
+					continue
+				}
+				for _, c := range fd.Doc.List {
+					rest, ok := strings.CutPrefix(c.Text, ReplayDirective+" ")
+					if !ok || strings.TrimSpace(rest) == "" {
+						continue
+					}
+					if fn, ok := u.Info.Defs[fd.Name].(*types.Func); ok {
+						replay[fn.FullName()] = strings.TrimSpace(rest)
+					}
+				}
+			}
+		}
+	}
+	return replay
+}
+
+// detachedReasons maps source lines carrying a reasoned
+// //dimred:detached directive, per file, so gospawn can match them to
+// go statements on the same or the following line.
+func detachedReasons(u *Unit, f *ast.File) map[int]string {
+	out := map[int]string{}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			rest, ok := strings.CutPrefix(c.Text, DetachedDirective+" ")
+			if !ok || strings.TrimSpace(rest) == "" {
+				continue
+			}
+			out[u.Fset.Position(c.Pos()).Line] = strings.TrimSpace(rest)
+		}
+	}
+	return out
+}
 
 // collectImmutableTypes returns the //dimred:immutable-marked struct
 // types of the loaded units, keyed like owners (pkg.Type). The

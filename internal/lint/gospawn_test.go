@@ -1,0 +1,216 @@
+package lint_test
+
+import (
+	"testing"
+
+	"dimred/internal/lint"
+	"dimred/internal/lint/linttest"
+)
+
+// TestGoSpawnJoins exercises the join/termination proof: WaitGroup
+// Done/Wait pairs (including a WaitGroup handed to the literal as an
+// argument), a ranged channel the spawner closes, a result send the
+// spawner receives, and a reasoned detached directive are all accepted;
+// a bare literal and a named-function spawn are leaks.
+func TestGoSpawnJoins(t *testing.T) {
+	linttest.Run(t, []*lint.Analyzer{lint.NewGoSpawn()}, map[string]string{
+		"lib/lib.go": `package lib
+
+import "sync"
+
+// Joined uses the canonical WaitGroup pair.
+func Joined() int {
+	var wg sync.WaitGroup
+	n := 0
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		n++
+	}()
+	wg.Wait()
+	return n
+}
+
+// WgParam hands the WaitGroup to the literal as an argument; the join
+// proof translates the parameter back to the spawn-site argument.
+func WgParam() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func(w *sync.WaitGroup) {
+		defer w.Done()
+	}(&wg)
+	wg.Wait()
+}
+
+// ChanClosed ranges over a channel the spawner closes.
+func ChanClosed() {
+	ch := make(chan int)
+	go func() {
+		for range ch {
+		}
+	}()
+	ch <- 1
+	close(ch)
+}
+
+// ResultRecv receives the goroutine's single result.
+func ResultRecv() int {
+	ch := make(chan int)
+	go func() { ch <- 42 }()
+	return <-ch
+}
+
+// Detached declares its intent with a reason.
+func Detached() {
+	//dimred:detached fixture stand-in for a process-lifetime ticker
+	go func() {
+		for {
+		}
+	}()
+}
+
+// Leaked has no join edge and no directive.
+func Leaked() {
+	go func() { // want "goroutine has no provable join or termination edge"
+	}()
+}
+
+// NamedLeak spawns a named function; the proof cannot look inside it.
+func NamedLeak() {
+	go helper() // want "goroutine has no provable join or termination edge"
+}
+
+func helper() {}
+
+// WrongChan closes one channel but the goroutine waits on another.
+func WrongChan() {
+	a := make(chan int)
+	b := make(chan int)
+	go func() { // want "goroutine has no provable join or termination edge"
+		<-a
+	}()
+	close(b)
+}
+`,
+	})
+}
+
+// TestGoSpawnHandoff: snapshot-derived state must not cross the spawn
+// boundary — not as a capture, not as an argument, not as the bound
+// receiver of a named spawn. The detached directive waives only the
+// join requirement, never the handoff checks.
+func TestGoSpawnHandoff(t *testing.T) {
+	linttest.Run(t, []*lint.Analyzer{lint.NewGoSpawn()}, map[string]string{
+		"lib/lib.go": `package lib
+
+// Snap is the published snapshot.
+//
+//dimred:immutable
+type Snap struct {
+	Rows map[string]int
+}
+
+func (s *Snap) work() {}
+
+// CapturedRows captures a map escaped from the snapshot.
+func CapturedRows(s *Snap) {
+	rows := s.Rows
+	done := make(chan struct{})
+	go func() { // want "goroutine captures rows, derived from //dimred:immutable type Snap"
+		_ = rows
+		close(done)
+	}()
+	<-done
+}
+
+// HandedRows passes the escaped map as a spawn argument.
+func HandedRows(s *Snap) {
+	done := make(chan struct{})
+	go func(m map[string]int) { // want "goroutine is handed a value derived from //dimred:immutable type Snap"
+		_ = m
+		close(done)
+	}(s.Rows)
+	<-done
+}
+
+// BoundReceiver spawns a method bound to the snapshot itself; the
+// directive satisfies the join rule but not the handoff rule.
+func BoundReceiver(s *Snap) {
+	//dimred:detached fixture exercises receiver handoff
+	go s.work() // want "goroutine is handed a value derived from //dimred:immutable type Snap"
+}
+
+// FreshCapture captures a locally built map: fine.
+func FreshCapture() {
+	rows := map[string]int{}
+	done := make(chan struct{})
+	go func() {
+		rows["k"] = 1
+		close(done)
+	}()
+	<-done
+}
+`,
+	})
+}
+
+// TestGoSpawnGuards: a goroutine body starts holding nothing, so a
+// field the module guards with a mutex must take the guard inside the
+// body — holding it at the spawn site does not count.
+func TestGoSpawnGuards(t *testing.T) {
+	linttest.Run(t, []*lint.Analyzer{lint.NewGoSpawn()}, map[string]string{
+		"lib/lib.go": `package lib
+
+import "sync"
+
+type Store struct {
+	mu sync.Mutex
+	n  int
+}
+
+var st Store
+
+// Set writes n under mu, establishing the guard.
+func Set(v int) {
+	st.mu.Lock()
+	st.n = v
+	st.mu.Unlock()
+}
+
+// BadSpawn reads the guarded field lock-free inside the goroutine.
+func BadSpawn() {
+	done := make(chan struct{})
+	go func() {
+		_ = st.n // want "read of field lintfix/lib.Store.n inside a goroutine without holding Store.mu"
+		close(done)
+	}()
+	<-done
+}
+
+// HeldAtSpawn holds the guard across the go statement; the body still
+// runs without it.
+func HeldAtSpawn() {
+	done := make(chan struct{})
+	st.mu.Lock()
+	go func() {
+		st.n++ // want "write of field lintfix/lib.Store.n inside a goroutine without holding Store.mu"
+		close(done)
+	}()
+	st.mu.Unlock()
+	<-done
+}
+
+// GoodSpawn takes the guard inside the body.
+func GoodSpawn() {
+	done := make(chan struct{})
+	go func() {
+		st.mu.Lock()
+		st.n++
+		st.mu.Unlock()
+		close(done)
+	}()
+	<-done
+}
+`,
+	})
+}

@@ -61,8 +61,11 @@ import (
 	"fmt"
 	"go/ast"
 	"go/token"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
+	"time"
 )
 
 // Diagnostic is one finding: a position, the analyzer that produced it
@@ -95,30 +98,82 @@ type Analyzer struct {
 // block, so a sink inside a defer is visited twice), and returns the
 // rest sorted by position.
 func Run(units []*Unit, analyzers []*Analyzer) []Diagnostic {
+	ds, _ := RunStats(units, analyzers)
+	return ds
+}
+
+// AnalyzerStat records one analyzer's contribution to a run: its wall
+// time and how many unique findings it produced, split into survivors
+// and //dimred:allow-suppressed.
+type AnalyzerStat struct {
+	Name       string
+	Elapsed    time.Duration
+	Findings   int // unique findings surviving suppression
+	Suppressed int // unique findings silenced by //dimred:allow
+}
+
+// RunStats is Run with per-analyzer statistics. The analyzers execute
+// concurrently on a worker pool bounded by GOMAXPROCS — safe because
+// units are read-only after Load and the shared interprocedural
+// substrates (call graph, escape summaries, lock facts) are memoized
+// behind mutexes — while results are collected per analyzer and folded
+// in declaration order, so the output is byte-identical to a serial
+// run.
+func RunStats(units []*Unit, analyzers []*Analyzer) ([]Diagnostic, []AnalyzerStat) {
 	allows := collectAllows(units)
-	var out []Diagnostic
-	for _, a := range analyzers {
-		var ds []Diagnostic
-		if a.RunModule != nil {
-			ds = a.RunModule(units)
-		} else {
-			for _, u := range units {
-				ds = append(ds, a.Run(u)...)
-			}
-		}
-		for i := range ds {
-			ds[i].Analyzer = a.Name
-		}
-		out = append(out, ds...)
+	results := make([][]Diagnostic, len(analyzers))
+	stats := make([]AnalyzerStat, len(analyzers))
+
+	workers := min(len(analyzers), runtime.GOMAXPROCS(0))
+	if workers < 1 {
+		workers = 1
 	}
-	seen := make(map[Diagnostic]bool, len(out))
-	kept := out[:0]
-	for _, d := range out {
-		if seen[d] || allows.covers(d) {
-			continue
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				a := analyzers[i]
+				start := time.Now()
+				var ds []Diagnostic
+				if a.RunModule != nil {
+					ds = a.RunModule(units)
+				} else {
+					for _, u := range units {
+						ds = append(ds, a.Run(u)...)
+					}
+				}
+				for j := range ds {
+					ds[j].Analyzer = a.Name
+				}
+				results[i] = ds
+				stats[i] = AnalyzerStat{Name: a.Name, Elapsed: time.Since(start)}
+			}
+		}()
+	}
+	for i := range analyzers {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+
+	seen := map[Diagnostic]bool{}
+	var kept []Diagnostic
+	for i, ds := range results {
+		for _, d := range ds {
+			if seen[d] {
+				continue
+			}
+			seen[d] = true
+			if allows.covers(d) {
+				stats[i].Suppressed++
+				continue
+			}
+			stats[i].Findings++
+			kept = append(kept, d)
 		}
-		seen[d] = true
-		kept = append(kept, d)
 	}
 	sort.Slice(kept, func(i, j int) bool {
 		a, b := kept[i], kept[j]
@@ -133,7 +188,7 @@ func Run(units []*Unit, analyzers []*Analyzer) []Diagnostic {
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return kept
+	return kept, stats
 }
 
 // allowSet records, per file and line, which analyzers an in-source
@@ -173,6 +228,52 @@ func Audit(units []*Unit) []Allow {
 						Analyzer: fields[0],
 						Reason:   strings.Join(fields[1:], " "),
 					})
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		return a.Pos.Line < b.Pos.Line
+	})
+	return out
+}
+
+// AuditEscapes widens the audit to every reasoned escape hatch in the
+// tree: //dimred:allow suppressions plus the analyzer-specific
+// //dimred:detached (gospawn waives its join proof) and //dimred:replay
+// (publishcheck waives post-publish writes) directives, each attributed
+// to the analyzer it silences. Unlike plain allows these directives
+// never suppress by line — the analyzers interpret them themselves —
+// but they are the same kind of reviewed decision, so the suppression
+// budget counts them.
+func AuditEscapes(units []*Unit) []Allow {
+	out := Audit(units)
+	escapes := []struct{ directive, analyzer string }{
+		{DetachedDirective, "gospawn"},
+		{ReplayDirective, "publishcheck"},
+	}
+	for _, u := range units {
+		for _, f := range u.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					for _, e := range escapes {
+						rest, ok := strings.CutPrefix(c.Text, e.directive)
+						if !ok || rest == "" || strings.TrimSpace(rest) == "" {
+							continue
+						}
+						if rest[0] != ' ' && rest[0] != '\t' {
+							continue // a longer directive name, not this one
+						}
+						out = append(out, Allow{
+							Pos:      u.Fset.Position(c.Pos()),
+							Analyzer: e.analyzer,
+							Reason:   strings.TrimSpace(rest),
+						})
+					}
 				}
 			}
 		}

@@ -6,6 +6,7 @@ import (
 	"go/types"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // ImmutableDirective marks a struct type whose instances are published
@@ -58,68 +59,10 @@ func NewLockField() *Analyzer {
 	}
 	a.RunModule = func(units []*Unit) []Diagnostic {
 		immutable := collectImmutableTypes(units)
+		lf := collectLockFacts(units)
+		accesses, guards := lf.accesses, lf.guards
 
-		// Mutex fields per owner struct, for the *Locked convention.
-		ownerMutexes := map[string][]string{}
-		for _, u := range units {
-			scope := u.Pkg.Scope()
-			for _, name := range scope.Names() {
-				tn, ok := scope.Lookup(name).(*types.TypeName)
-				if !ok {
-					continue
-				}
-				st, ok := tn.Type().Underlying().(*types.Struct)
-				if !ok {
-					continue
-				}
-				owner := u.Pkg.Path() + "." + tn.Name()
-				for i := 0; i < st.NumFields(); i++ {
-					f := st.Field(i)
-					if isMutexType(f.Type()) {
-						ownerMutexes[owner] = append(ownerMutexes[owner], owner+"."+f.Name())
-					}
-				}
-			}
-		}
-
-		// Phase 1: per-function lockset dataflow; collect every field
-		// access with the locks held at it.
-		var accesses []lockAccess
-		var lockedCalls []lockedCall
-		for _, u := range units {
-			for _, f := range u.Files {
-				parents := parentMap(f)
-				for _, decl := range f.Decls {
-					fd, ok := decl.(*ast.FuncDecl)
-					if !ok || fd.Body == nil {
-						continue
-					}
-					la := &lockAnalysis{u: u, fd: fd, parents: parents, ownerMutexes: ownerMutexes}
-					la.run()
-					accesses = append(accesses, la.accesses...)
-					lockedCalls = append(lockedCalls, la.lockedCalls...)
-				}
-			}
-		}
-
-		// Phase 2: infer guards. A field is guarded by a mutex of its
-		// own struct that is write-held at some non-exempt write.
-		guards := map[string]map[string]bool{}
-		for _, a := range accesses {
-			if !a.write || a.exempt {
-				continue
-			}
-			for lock, level := range a.locks {
-				if level >= lockWrite && strings.HasPrefix(lock, a.owner+".") {
-					if guards[a.key] == nil {
-						guards[a.key] = map[string]bool{}
-					}
-					guards[a.key][lock] = true
-				}
-			}
-		}
-
-		// Phase 3: every non-exempt access to a guarded field must
+		// Every non-exempt access to a guarded field must
 		// hold one of its guards at the required strength, and no
 		// non-exempt write may touch an immutable type at all.
 		var ds []Diagnostic
@@ -155,9 +98,9 @@ func NewLockField() *Analyzer {
 					verb, a.key, guardNames(gs, a.owner)))
 			}
 		}
-		for _, c := range lockedCalls {
+		for _, c := range lf.lockedCalls {
 			var missing []string
-			for _, lock := range ownerMutexes[c.owner] {
+			for _, lock := range lf.ownerMutexes[c.owner] {
 				if c.locks[lock] < lockRead {
 					missing = append(missing, lock)
 				}
@@ -217,6 +160,112 @@ func lockSetEqual(a, b lockSet) bool {
 	return true
 }
 
+// lockFacts is the module-wide lockset evidence three analyzers share:
+// lockfield consumes the field accesses and inferred guards, lockorder
+// the acquisition and held-call events, gospawn the guards (a goroutine
+// body must hold a guarded field's guard itself). Computed once per
+// module; the cache mirrors cgCache.
+type lockFacts struct {
+	ownerMutexes map[string][]string
+	accesses     []lockAccess
+	lockedCalls  []lockedCall
+	acquires     []lockAcquire
+	heldCalls    []heldCall
+	guards       map[string]map[string]bool
+}
+
+var lockFactsCache struct {
+	mu    sync.Mutex
+	key   *Unit
+	facts *lockFacts
+}
+
+// collectLockFacts runs the per-function lockset dataflow over every
+// declaration in the module and memoizes the result.
+func collectLockFacts(units []*Unit) *lockFacts {
+	if len(units) == 0 {
+		return &lockFacts{guards: map[string]map[string]bool{}}
+	}
+	lockFactsCache.mu.Lock()
+	defer lockFactsCache.mu.Unlock()
+	if lockFactsCache.key == units[0] {
+		return lockFactsCache.facts
+	}
+	modulePkgs := map[string]bool{}
+	for _, u := range units {
+		modulePkgs[u.Path] = true
+	}
+	lf := &lockFacts{ownerMutexes: collectOwnerMutexes(units)}
+	for _, u := range units {
+		for _, f := range u.Files {
+			parents := parentMap(f)
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				la := &lockAnalysis{u: u, fd: fd, body: fd.Body, parents: parents,
+					ownerMutexes: lf.ownerMutexes, modulePkgs: modulePkgs}
+				la.run()
+				lf.accesses = append(lf.accesses, la.accesses...)
+				lf.lockedCalls = append(lf.lockedCalls, la.lockedCalls...)
+				lf.acquires = append(lf.acquires, la.acquires...)
+				lf.heldCalls = append(lf.heldCalls, la.heldCalls...)
+			}
+		}
+	}
+	lf.guards = inferGuards(lf.accesses)
+	lockFactsCache.key, lockFactsCache.facts = units[0], lf
+	return lf
+}
+
+// collectOwnerMutexes maps each module struct (pkg.Type) to its mutex
+// field keys, the basis of the *Locked convention.
+func collectOwnerMutexes(units []*Unit) map[string][]string {
+	ownerMutexes := map[string][]string{}
+	for _, u := range units {
+		scope := u.Pkg.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok {
+				continue
+			}
+			st, ok := tn.Type().Underlying().(*types.Struct)
+			if !ok {
+				continue
+			}
+			owner := u.Pkg.Path() + "." + tn.Name()
+			for i := 0; i < st.NumFields(); i++ {
+				f := st.Field(i)
+				if isMutexType(f.Type()) {
+					ownerMutexes[owner] = append(ownerMutexes[owner], owner+"."+f.Name())
+				}
+			}
+		}
+	}
+	return ownerMutexes
+}
+
+// inferGuards derives the guarded-field map: a field is guarded by a
+// mutex of its own struct that is write-held at some non-exempt write.
+func inferGuards(accesses []lockAccess) map[string]map[string]bool {
+	guards := map[string]map[string]bool{}
+	for _, a := range accesses {
+		if !a.write || a.exempt {
+			continue
+		}
+		for lock, level := range a.locks {
+			if level >= lockWrite && strings.HasPrefix(lock, a.owner+".") {
+				if guards[a.key] == nil {
+					guards[a.key] = map[string]bool{}
+				}
+				guards[a.key][lock] = true
+			}
+		}
+	}
+	return guards
+}
+
 // lockAccess is one field access with its lock context.
 type lockAccess struct {
 	unit   *Unit
@@ -237,24 +286,49 @@ type lockedCall struct {
 	locks lockSet
 }
 
+// lockAcquire is one Lock/RLock on a mutex field, with the locks
+// already held when it executes — one potential edge of lockorder's
+// lock-acquisition graph.
+type lockAcquire struct {
+	unit *Unit
+	pos  token.Pos
+	key  string
+	held lockSet
+}
+
+// heldCall is a call to a module-internal function made with at least
+// one mutex field held; lockorder closes it against the callee's
+// may-acquire summary.
+type heldCall struct {
+	unit   *Unit
+	pos    token.Pos
+	callee string // types.Func.FullName
+	held   lockSet
+}
+
 type lockAnalysis struct {
 	u            *Unit
-	fd           *ast.FuncDecl
+	fd           *ast.FuncDecl // nil when analyzing a bare body (goroutine literal)
+	body         *ast.BlockStmt
 	parents      map[ast.Node]ast.Node
 	ownerMutexes map[string][]string
+	modulePkgs   map[string]bool
 
-	g  *CFG
-	rd *ReachingDefs
+	g         *CFG
+	rd        *ReachingDefs
+	recording bool // final pass: log acquire/held-call events
 
 	accesses    []lockAccess
 	lockedCalls []lockedCall
+	acquires    []lockAcquire
+	heldCalls   []heldCall
 }
 
 func (la *lockAnalysis) run() {
-	la.g = BuildCFG(la.fd.Body)
+	la.g = BuildCFG(la.body)
 
 	boundary := lockSet{}
-	if strings.HasSuffix(la.fd.Name.Name, "Locked") {
+	if la.fd != nil && strings.HasSuffix(la.fd.Name.Name, "Locked") {
 		if owner := receiverOwner(la.u, la.fd); owner != "" {
 			for _, lock := range la.ownerMutexes[owner] {
 				boundary[lock] = lockWrite
@@ -276,6 +350,7 @@ func (la *lockAnalysis) run() {
 		},
 	})
 
+	la.recording = true
 	for _, blk := range la.g.Blocks {
 		facts, ok := in[blk]
 		if !ok {
@@ -289,6 +364,7 @@ func (la *lockAnalysis) run() {
 			la.transfer(blk, n, cur)
 		}
 	}
+	la.recording = false
 }
 
 // transfer applies the lock operations a node performs, mutating set.
@@ -310,29 +386,53 @@ func (la *lockAnalysis) transfer(blk *Block, n ast.Node, set lockSet) {
 	}
 }
 
+// mutexOp classifies call as a Lock/RLock/Unlock/RUnlock on a mutex
+// struct field, returning the field key and the operation name.
+func mutexOp(info *types.Info, call *ast.CallExpr) (key, op string, ok bool) {
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", "", false
+	}
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	base, isSel := ast.Unparen(sel.X).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	key, isField := fieldKey(info, base)
+	if !isField || !isMutexType(info.Selections[base].Type()) {
+		return "", "", false
+	}
+	switch fn.Name() {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+		return key, fn.Name(), true
+	}
+	return "", "", false
+}
+
 // applyLockOp interprets call if it is a Lock/RLock/Unlock/RUnlock on
 // a mutex struct field.
 func (la *lockAnalysis) applyLockOp(call *ast.CallExpr, set lockSet) {
-	fn := calleeFunc(la.u.Info, call)
-	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
-		return
-	}
-	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	key, op, ok := mutexOp(la.u.Info, call)
 	if !ok {
 		return
 	}
-	base, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
-	if !ok {
-		return
-	}
-	key, isField := fieldKey(la.u.Info, base)
-	if !isField || !isMutexType(la.u.Info.Selections[base].Type()) {
-		return
-	}
-	switch fn.Name() {
+	switch op {
 	case "Lock":
+		if la.recording {
+			la.acquires = append(la.acquires, lockAcquire{
+				unit: la.u, pos: call.Pos(), key: key, held: set.clone(),
+			})
+		}
 		set[key] = lockWrite
 	case "RLock":
+		if la.recording {
+			la.acquires = append(la.acquires, lockAcquire{
+				unit: la.u, pos: call.Pos(), key: key, held: set.clone(),
+			})
+		}
 		if set[key] < lockRead {
 			set[key] = lockRead
 		}
@@ -351,10 +451,26 @@ func (la *lockAnalysis) scanNode(blk *Block, n ast.Node, set lockSet) {
 				la.recordAccess(blk, x, set)
 			case *ast.CallExpr:
 				la.recordLockedCall(x, set)
+				la.recordHeldCall(x, set)
 			}
 			return true
 		})
 	}
+}
+
+// recordHeldCall logs a module-internal call made with locks held —
+// the raw material of lockorder's interprocedural edges.
+func (la *lockAnalysis) recordHeldCall(call *ast.CallExpr, set lockSet) {
+	if len(set) == 0 {
+		return
+	}
+	fn := calleeFunc(la.u.Info, call)
+	if fn == nil || fn.Pkg() == nil || !la.modulePkgs[fn.Pkg().Path()] {
+		return
+	}
+	la.heldCalls = append(la.heldCalls, heldCall{
+		unit: la.u, pos: call.Pos(), callee: fn.FullName(), held: set.clone(),
+	})
 }
 
 func (la *lockAnalysis) recordAccess(blk *Block, sel *ast.SelectorExpr, set lockSet) {

@@ -1,0 +1,224 @@
+package lint_test
+
+import (
+	"testing"
+
+	"dimred/internal/lint"
+	"dimred/internal/lint/linttest"
+)
+
+// TestPublishCheckDirect: the atomic.Pointer store is the publish
+// boundary — building the value before the store is legal, any write
+// after it (direct store, builtin, inc/dec, alias, deferred call) is
+// flagged, and flow merges are may-published.
+func TestPublishCheckDirect(t *testing.T) {
+	linttest.Run(t, []*lint.Analyzer{lint.NewPublishCheck()}, map[string]string{
+		"lib/lib.go": `package lib
+
+import "sync/atomic"
+
+type snap struct {
+	rows map[string]int
+	n    int
+}
+
+type W struct {
+	cur atomic.Pointer[snap]
+}
+
+// Build fills the snapshot before publishing: legal.
+func (w *W) Build() {
+	next := &snap{rows: map[string]int{}}
+	next.rows["k"] = 1
+	next.n = 7
+	w.cur.Store(next)
+}
+
+// BadPost writes into the value it just published.
+func (w *W) BadPost() {
+	next := &snap{rows: map[string]int{}}
+	w.cur.Store(next)
+	next.rows["k"] = 1 // want "write into a snap value after its atomic.Pointer publish"
+}
+
+// BadAlias writes through an alias taken before the publish.
+func (w *W) BadAlias() {
+	next := &snap{rows: map[string]int{}}
+	rows := next.rows
+	w.cur.Store(next)
+	delete(rows, "k") // want "write into a snap value after its atomic.Pointer publish"
+}
+
+// BadBranch publishes on one branch only; the merge is may-published.
+func (w *W) BadBranch(flag bool) {
+	next := &snap{rows: map[string]int{}}
+	if flag {
+		w.cur.Store(next)
+	}
+	next.n++ // want "write into a snap value after its atomic.Pointer publish"
+}
+
+// BadSwap publishes via Swap.
+func (w *W) BadSwap() {
+	next := &snap{}
+	_ = w.cur.Swap(next)
+	next.n = 1 // want "write into a snap value after its atomic.Pointer publish"
+}
+
+// BadCAS publishes via CompareAndSwap; the new value is the second
+// argument.
+func (w *W) BadCAS(old *snap) {
+	next := &snap{}
+	if w.cur.CompareAndSwap(old, next) {
+		next.n = 1 // want "write into a snap value after its atomic.Pointer publish"
+	}
+}
+
+// FreshAfter publishes, then builds a different value: legal.
+func (w *W) FreshAfter() {
+	w.cur.Store(&snap{})
+	other := &snap{rows: map[string]int{}}
+	other.rows["k"] = 1
+}
+`,
+	})
+}
+
+// TestPublishCheckInterprocedural: a post-publish call whose escape
+// summary writes the published argument is the same offense at the call
+// site; //dimred:replay on the callee (the sanctioned replay path) or on
+// the publisher itself waives it. Deferred mutations run after every
+// publish on the path.
+func TestPublishCheckInterprocedural(t *testing.T) {
+	linttest.Run(t, []*lint.Analyzer{lint.NewPublishCheck()}, map[string]string{
+		"lib/lib.go": `package lib
+
+import "sync/atomic"
+
+type snap struct {
+	rows map[string]int
+}
+
+type W struct {
+	cur atomic.Pointer[snap]
+}
+
+func fill(s *snap) { s.rows["z"] = 9 }
+
+// replayInto is the sanctioned replay path.
+//
+//dimred:replay the standby side absorbs the same ops before the next swap
+func replayInto(s *snap) { s.rows["z"] = 9 }
+
+// BadViaCall hands the published value to a writer.
+func (w *W) BadViaCall() {
+	next := &snap{rows: map[string]int{}}
+	w.cur.Store(next)
+	fill(next) // want "call to fill mutates a snap value after its atomic.Pointer publish"
+}
+
+// ReplayCallee is clean: the callee carries the replay annotation.
+func (w *W) ReplayCallee() {
+	next := &snap{rows: map[string]int{}}
+	w.cur.Store(next)
+	replayInto(next)
+}
+
+// commit is exempt end to end: the publisher itself is the annotated
+// replay path.
+//
+//dimred:replay commit replays pending ops into the standby copy
+func (w *W) commit() {
+	next := &snap{rows: map[string]int{}}
+	w.cur.Store(next)
+	next.rows["k"] = 1
+}
+
+// BadDeferred mutates in a deferred call, which runs post-publish.
+func (w *W) BadDeferred() {
+	next := &snap{rows: map[string]int{}}
+	defer fill(next) // want "call to fill mutates a snap value after its atomic.Pointer publish"
+	w.cur.Store(next)
+}
+
+// PreCall is legal: the writer runs before the publish.
+func (w *W) PreCall() {
+	next := &snap{rows: map[string]int{}}
+	fill(next)
+	w.cur.Store(next)
+}
+`,
+	})
+}
+
+// TestPublishCheckPublishViaHelper: the publish may live in a module
+// callee — the caller is gated from the call onward — and a value typed
+// as a published type (the retired snapshot a swap helper returns) is
+// published state by origin, not just by identity with a publish
+// argument. Writes into the publisher's own unpublished state stay
+// legal.
+func TestPublishCheckPublishViaHelper(t *testing.T) {
+	linttest.Run(t, []*lint.Analyzer{lint.NewPublishCheck()}, map[string]string{
+		"lib/lib.go": `package lib
+
+import "sync/atomic"
+
+type snap struct {
+	rows map[string]int
+	n    int
+}
+
+type metrics struct{ rebuilds int }
+
+type W struct {
+	cur     atomic.Pointer[snap]
+	working *snap
+	met     metrics
+}
+
+func fill(s *snap) { s.rows["z"] = 9 }
+
+// swap publishes the working side and returns the retired snapshot.
+func (w *W) swap() *snap {
+	old := w.cur.Load()
+	w.cur.Store(w.working)
+	return old
+}
+
+// BadCommit writes into the retired snapshot after the helper's publish.
+func (w *W) BadCommit() {
+	retired := w.swap()
+	retired.n = 1 // want "write into a snap value after its atomic.Pointer publish"
+}
+
+// BadCommitCall hands the retired snapshot to a writer after the
+// helper's publish.
+func (w *W) BadCommitCall() {
+	retired := w.swap()
+	fill(retired) // want "call to fill mutates a snap value after its atomic.Pointer publish"
+}
+
+// Replayer mirrors the left-right commit: annotated, so its replay into
+// the retired side is sanctioned end to end.
+//
+//dimred:replay fixture stand-in for the drained-reader replay of the left-right protocol
+func (w *W) Replayer() {
+	retired := w.swap()
+	retired.n = 1
+}
+
+// MetricsAfter is clean: post-publish writes land in the publisher's own
+// metrics, not in published state.
+func (w *W) MetricsAfter() {
+	w.swap()
+	w.met.rebuilds++
+}
+
+// BeforeHelper is clean: the write precedes the publishing call.
+func (w *W) BeforeHelper() {
+	w.working.n = 2
+	w.swap()
+}
+`,
+	})
+}

@@ -52,7 +52,7 @@ func NewPurity() *Analyzer {
 			"write package state, read the clock, or range over maps — transitively",
 	}
 	a.RunModule = func(units []*Unit) []Diagnostic {
-		cg := BuildCallGraph(units)
+		cg := moduleCallGraph(units)
 
 		facts := map[string]*purityFacts{}
 		var roots []string

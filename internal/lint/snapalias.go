@@ -1,9 +1,13 @@
 package lint
 
 import (
+	"fmt"
 	"go/ast"
 	"go/token"
 	"go/types"
+	"sort"
+	"strings"
+	"sync"
 )
 
 // snapalias is the interprocedural escape analysis behind the epoch-
@@ -86,24 +90,8 @@ func NewSnapAlias() *Analyzer {
 			return nil
 		}
 		shared := collectSharedFields(units)
-		cg := BuildCallGraph(units)
-
-		// Bottom-up summary computation: callee SCCs first, each SCC
-		// iterated to a fixpoint (summaries grow monotonically).
-		summaries := map[string]*escapeSummary{}
-		for _, scc := range cg.SCCs() {
-			for changed := true; changed; {
-				changed = false
-				for _, key := range scc {
-					fa := newSnapAnalysis(cg.Nodes[key], immutable, shared, summaries)
-					sum := fa.run()
-					if old := summaries[key]; old == nil || *old != sum {
-						summaries[key] = &sum
-						changed = true
-					}
-				}
-			}
-		}
+		cg := moduleCallGraph(units)
+		summaries := escapeSummariesFor(units, immutable, shared)
 
 		// Reporting pass with the final summaries.
 		var ds []Diagnostic
@@ -118,6 +106,68 @@ func NewSnapAlias() *Analyzer {
 	return a
 }
 
+// computeEscapeSummaries runs the bottom-up summary fixpoint: callee
+// SCCs first, each SCC iterated until its summaries stop growing. The
+// marked set decides what "derives from published state" means —
+// snapalias marks the //dimred:immutable types, publishcheck the types
+// stored into an atomic.Pointer.
+func computeEscapeSummaries(cg *CallGraph, marked map[string]bool, shared map[string]sharedField) map[string]*escapeSummary {
+	summaries := map[string]*escapeSummary{}
+	for _, scc := range cg.SCCs() {
+		for changed := true; changed; {
+			changed = false
+			for _, key := range scc {
+				fa := newSnapAnalysis(cg.Nodes[key], marked, shared, summaries)
+				sum := fa.run()
+				if old := summaries[key]; old == nil || *old != sum {
+					summaries[key] = &sum
+					changed = true
+				}
+			}
+		}
+	}
+	return summaries
+}
+
+// escapeSummariesFor memoizes computeEscapeSummaries per (module,
+// marked set): snapalias and gospawn share the //dimred:immutable set,
+// so the fixpoint runs once for both even when the analyzers run
+// concurrently.
+var sumCache struct {
+	mu       sync.Mutex
+	key      *Unit
+	byMarked map[string]map[string]*escapeSummary
+}
+
+func escapeSummariesFor(units []*Unit, marked map[string]bool, shared map[string]sharedField) map[string]*escapeSummary {
+	if len(units) == 0 {
+		return map[string]*escapeSummary{}
+	}
+	cg := moduleCallGraph(units)
+	mk := markedKey(marked)
+	sumCache.mu.Lock()
+	defer sumCache.mu.Unlock()
+	if sumCache.key != units[0] {
+		sumCache.key = units[0]
+		sumCache.byMarked = map[string]map[string]*escapeSummary{}
+	}
+	if s, ok := sumCache.byMarked[mk]; ok {
+		return s
+	}
+	s := computeEscapeSummaries(cg, marked, shared)
+	sumCache.byMarked[mk] = s
+	return s
+}
+
+func markedKey(marked map[string]bool) string {
+	keys := make([]string, 0, len(marked))
+	for k := range marked {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, ",")
+}
+
 // snapAnalysis analyzes one function declaration.
 type snapAnalysis struct {
 	u         *Unit
@@ -126,6 +176,10 @@ type snapAnalysis struct {
 	shared    map[string]sharedField
 	summaries map[string]*escapeSummary
 	report    bool
+	// onWrite, when set, observes every marked-derived write instead of
+	// emitting the default snapalias diagnostic (publishcheck renders
+	// its own messages and applies its own flow-sensitivity).
+	onWrite func(pos token.Pos, o origin, kind writeKind, opName string)
 
 	state map[*types.Var]origin
 	sum   escapeSummary
@@ -283,8 +337,7 @@ func (fa *snapAnalysis) scanWrites() {
 				return true
 			}
 			if s := fa.summaries[fn.FullName()]; s != nil && s.writesParam&1 != 0 {
-				fa.recordWrite(x.Pos(), fa.exprOrigins(x.X),
-					"method value %s may write through a value derived from %s type %s", fn.Name())
+				fa.recordWrite(x.Pos(), fa.exprOrigins(x.X), writeMethodValue, fn.Name())
 			}
 		}
 		return true
@@ -298,15 +351,12 @@ func (fa *snapAnalysis) checkLValue(lhs ast.Expr) {
 	switch x := ast.Unparen(lhs).(type) {
 	case *ast.SelectorExpr:
 		if sel := fa.u.Info.Selections[x]; sel != nil && sel.Kind() == types.FieldVal {
-			fa.recordWrite(x.Pos(), fa.exprOrigins(x.X),
-				"write through a value derived from %s type %s", "")
+			fa.recordWrite(x.Pos(), fa.exprOrigins(x.X), writeDirect, "")
 		}
 	case *ast.IndexExpr:
-		fa.recordWrite(x.Pos(), fa.exprOrigins(x.X),
-			"write through a value derived from %s type %s", "")
+		fa.recordWrite(x.Pos(), fa.exprOrigins(x.X), writeDirect, "")
 	case *ast.StarExpr:
-		fa.recordWrite(x.Pos(), fa.exprOrigins(x.X),
-			"write through a value derived from %s type %s", "")
+		fa.recordWrite(x.Pos(), fa.exprOrigins(x.X), writeDirect, "")
 	}
 }
 
@@ -320,8 +370,7 @@ func (fa *snapAnalysis) checkCall(call *ast.CallExpr) {
 			switch b.Name() {
 			case "append", "copy", "delete", "clear":
 				if len(call.Args) > 0 {
-					fa.recordWrite(call.Pos(), fa.exprOrigins(call.Args[0]),
-						"%s on a value derived from %s type %s", b.Name())
+					fa.recordWrite(call.Pos(), fa.exprOrigins(call.Args[0]), writeBuiltin, b.Name())
 				}
 			}
 			return
@@ -340,24 +389,48 @@ func (fa *snapAnalysis) checkCall(call *ast.CallExpr) {
 			continue
 		}
 		for _, arg := range callBitExprs(call, fn, bit) {
-			fa.recordWrite(call.Pos(), fa.exprOrigins(arg),
-				"call to %s mutates a value derived from %s type %s", fn.Name())
+			fa.recordWrite(call.Pos(), fa.exprOrigins(arg), writeCall, fn.Name())
 		}
 	}
 }
 
-// recordWrite classifies one write given the written value's origins.
-// format holds %s verbs for (optionally an operation name, then) the
-// ImmutableDirective and the marked type's name.
-func (fa *snapAnalysis) recordWrite(pos token.Pos, o origin, format, opName string) {
+// writeKind classifies how a marked-derived value is mutated, so the
+// two consumers of the write scan (snapalias, publishcheck) can render
+// kind-appropriate messages.
+type writeKind int
+
+const (
+	writeDirect      writeKind = iota // assignment/inc-dec through selector, index, deref
+	writeBuiltin                      // append/copy/delete/clear
+	writeCall                         // call whose summary writes the argument
+	writeMethodValue                  // method value bound to a receiver its method writes
+)
+
+// writeMessage renders one marked-derived write for diagnostics.
+func writeMessage(kind writeKind, opName, directive, typeName string) string {
+	switch kind {
+	case writeBuiltin:
+		return fmt.Sprintf("%s on a value derived from %s type %s", opName, directive, typeName)
+	case writeCall:
+		return fmt.Sprintf("call to %s mutates a value derived from %s type %s", opName, directive, typeName)
+	case writeMethodValue:
+		return fmt.Sprintf("method value %s may write through a value derived from %s type %s", opName, directive, typeName)
+	default:
+		return fmt.Sprintf("write through a value derived from %s type %s", directive, typeName)
+	}
+}
+
+// recordWrite classifies one write given the written value's origins:
+// an offense when it derives from a marked type, a writes-parameter
+// summary bit when it derives from a parameter.
+func (fa *snapAnalysis) recordWrite(pos token.Pos, o origin, kind writeKind, opName string) {
 	if o.immut {
-		if fa.report {
-			args := []any{ImmutableDirective, o.immutType}
-			if opName != "" {
-				args = append([]any{opName}, args...)
-			}
+		if fa.onWrite != nil {
+			fa.onWrite(pos, o, kind, opName)
+		} else if fa.report {
 			fa.diags = append(fa.diags, fa.u.Diag(pos,
-				format+"; published instances are read by lock-free pinned readers", args...))
+				"%s; published instances are read by lock-free pinned readers",
+				writeMessage(kind, opName, ImmutableDirective, o.immutType)))
 		}
 		return
 	}

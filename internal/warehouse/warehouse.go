@@ -129,6 +129,8 @@ func (w *Warehouse) pin() (*snapshot, *obs.Pin) {
 // from the first application publishes nothing and rebuilds the working
 // side from a clone of the published one, restoring the two-side
 // invariant.
+//
+//dimred:replay the retired side is drained of readers before the replay writes; this is the left-right protocol's sanctioned second application
 func (w *Warehouse) commitLocked(op func(cs *subcube.CubeSet) error) error {
 	if err := op(w.working); err != nil {
 		w.rebuildWorkingLocked()
