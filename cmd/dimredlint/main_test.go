@@ -249,11 +249,14 @@ func TestRepoSuppressionBudget(t *testing.T) {
 		// internal/spec/env.go: synthetic canonical window is not an
 		// evaluation time.
 		"nowflow": 1,
-		// internal/warehouse/warehouse.go ×2: commitLocked's replay-side
-		// SetMetrics redirects (retired side drained of readers).
-		"snapalias": 2,
-		// internal/warehouse/warehouse.go: commitLocked is the left-right
-		// protocol's sanctioned replay path (//dimred:replay);
+		// internal/warehouse/warehouse.go ×4: commitWithViewsLocked's
+		// replay-side SetMetrics redirects (retired side drained of
+		// readers), and buildViewsLocked's redirect-and-restore pair (the
+		// working side is off the published read path under wmu; view
+		// builds must not inflate the query counters).
+		"snapalias": 4,
+		// internal/warehouse/warehouse.go: commitWithViewsLocked is the
+		// left-right protocol's sanctioned replay path (//dimred:replay);
 		// internal/specexec/cache.go: Program.At's conservative escape
 		// summary (//dimred:allow on the router rebuild).
 		"publishcheck": 2,

@@ -53,6 +53,7 @@ type benchReport struct {
 	Rows  []benchRow  `json:"rows"`
 	Cache *cacheStats `json:"cache,omitempty"`
 	Env   *benchEnv   `json:"env,omitempty"`
+	Views *viewStats  `json:"views,omitempty"`
 }
 
 // benchEnv records the parallelism the artifact was measured under.
@@ -171,7 +172,13 @@ func runBenchSuite(outPath string) error {
 		BitsetBytes:        compiledSet.Metrics().BitsetBytes.Load(),
 	}
 
-	out, err := json.MarshalIndent(benchReport{Rows: rows, Cache: cache}, "", "  ")
+	viewRows, viewSt, err := runViewBench()
+	if err != nil {
+		return err
+	}
+	rows = append(rows, viewRows...)
+
+	out, err := json.MarshalIndent(benchReport{Rows: rows, Cache: cache, Views: viewSt}, "", "  ")
 	if err != nil {
 		return err
 	}
@@ -190,6 +197,8 @@ func runBenchSuite(outPath string) error {
 	fmt.Printf("compiled Query cache: %d queries, %d compiles, %d program hits, %d misses, %d router hits, %d bitset bytes retained\n",
 		cache.Queries, cache.ProgramCompiles, cache.ProgramCacheHits, cache.ProgramCacheMisses,
 		cache.RouterCacheHits, cache.BitsetBytes)
+	fmt.Printf("views-on QueryViews run: %d hits, %d misses, %d builds, %d/%d bytes of budget\n",
+		viewSt.Hits, viewSt.Misses, viewSt.Builds, viewSt.Bytes, viewSt.BudgetBytes)
 	fmt.Printf("wrote %s\n", outPath)
 	return nil
 }

@@ -1,0 +1,162 @@
+package main
+
+import (
+	"fmt"
+	"testing"
+
+	"dimred/internal/caltime"
+	"dimred/internal/mdm"
+	"dimred/internal/spec"
+	"dimred/internal/subcube"
+	"dimred/internal/views"
+	"dimred/internal/warehouse"
+	"dimred/internal/workload"
+)
+
+// viewStats is the Metrics() citation recorded around the views-on
+// QueryViews run: the artifact must show the speedup came from view
+// serving (hits, no base evaluations) within the configured byte
+// budget, not from a lucky measurement.
+type viewStats struct {
+	Hits        int64 `json:"view_hits"`
+	Misses      int64 `json:"view_misses"`
+	Builds      int64 `json:"view_builds"`
+	Bytes       int64 `json:"view_bytes"`
+	BudgetBytes int64 `json:"budget_bytes"`
+}
+
+// viewBenchShapes is the query-shape catalog for the skewed workload,
+// most popular first. Every shape is view-eligible (predicate-free
+// availability) and at-or-above the month level the benchmark's
+// specification folds to, so each materialized view is uniform and
+// serves its shape exactly.
+var viewBenchShapes = []string{
+	`aggregate [Time.month, URL.domain]`,
+	`aggregate [Time.quarter, URL.domain]`,
+	`aggregate [Time.quarter, URL.domain_grp]`,
+	`aggregate [Time.year, URL.domain_grp]`,
+}
+
+// viewBenchSeqLen is how many Zipf draws one benchmark iteration
+// replays. Long enough that the head shape dominates as in a dashboard
+// workload, short enough that the views-off baseline (one full base
+// evaluation per draw) finishes in CI time.
+const viewBenchSeqLen = 256
+
+// newViewBenchWarehouse opens a click warehouse on a 240-day x 300
+// clicks/day stream under the month/quarter reduction spec and
+// advances the clock to NOW = 2000-9-1: January through July fold to
+// (month, domain) while August stays at bottom granularity, so the
+// synced base holds ~2k rows and every catalog shape aggregates an
+// order of magnitude more rows than its materialized view retains. (A
+// stream that folds completely would leave the base already at the
+// head shape's granularity — no saving for a view to deliver.)
+func newViewBenchWarehouse() (*warehouse.Warehouse, error) {
+	obj, err := workload.NewClickSchema()
+	if err != nil {
+		return nil, err
+	}
+	env, err := spec.NewEnv(obj.Schema, "Time", obj.Time)
+	if err != nil {
+		return nil, err
+	}
+	start := caltime.Date(2000, 1, 1)
+	w, err := warehouse.Open(env,
+		spec.MustCompileString("m", `aggregate [Time.month, URL.domain] where Time.month <= NOW - 2 months`, env),
+		spec.MustCompileString("q", `aggregate [Time.quarter, URL.domain_grp] where Time.quarter <= NOW - 4 quarters`, env))
+	if err != nil {
+		return nil, err
+	}
+	if err := w.AdvanceTo(start); err != nil {
+		return nil, err
+	}
+	cfg := workload.ClickConfig{Seed: 1, Start: start, Days: 240, ClicksPerDay: 300, Domains: 30, URLsPerDomain: 8}
+	err = w.LoadBatch(func(load func([]mdm.ValueID, []float64) error) error {
+		return workload.GenerateClicks(cfg, func(c workload.Click) error {
+			refs, meas, err := obj.Row(c)
+			if err != nil {
+				return err
+			}
+			return load(refs, meas)
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := w.AdvanceTo(caltime.Date(2000, 9, 1)); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// runViewBench measures the identical Zipf-skewed query sequence on two
+// warehouses — one serving from the base subcubes, one from the
+// materialized rollup-view lattice — and returns the two rows plus the
+// view-counter citation from the views-on run.
+func runViewBench() ([]benchRow, *viewStats, error) {
+	wOff, err := newViewBenchWarehouse()
+	if err != nil {
+		return nil, nil, err
+	}
+	wOn, err := newViewBenchWarehouse()
+	if err != nil {
+		return nil, nil, err
+	}
+
+	qs := make([]subcube.Query, len(viewBenchShapes))
+	for i, src := range viewBenchShapes {
+		qs[i] = subcube.MustParseQuery(src, wOff.Env())
+	}
+	seq, err := workload.SkewedShapes(workload.QueryMixConfig{Seed: 9, Shapes: len(qs)}, viewBenchSeqLen)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	replay := func(w *warehouse.Warehouse) error {
+		t := w.Now()
+		for _, s := range seq {
+			if _, err := w.QueryAt(qs[s], t); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	// One un-timed replay on the views-on warehouse feeds the selector's
+	// shape trace; EnableViews then materializes the winners from it.
+	if err := replay(wOn); err != nil {
+		return nil, nil, err
+	}
+	vcfg := views.Config{MaxBytes: views.DefaultMaxBytes, MaxViews: views.DefaultMaxViews}
+	if err := wOn.EnableViews(vcfg); err != nil {
+		return nil, nil, err
+	}
+	if n, _ := wOn.ViewStats(); n == 0 {
+		return nil, nil, fmt.Errorf("view bench: EnableViews materialized no views")
+	}
+
+	bench := func(w *warehouse.Warehouse) func(b *testing.B) {
+		return func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := replay(w); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	rows := []benchRow{
+		measure("QueryViews", "views-off", len(seq), bench(wOff)),
+	}
+	before := wOn.Metrics()
+	rows = append(rows, measure("QueryViews", "views-on", len(seq), bench(wOn)))
+	after := wOn.Metrics()
+	delta := after.Sub(before)
+	stats := &viewStats{
+		Hits:        delta.ViewHits,
+		Misses:      delta.ViewMisses,
+		Builds:      after.ViewBuilds,
+		Bytes:       after.ViewBytes,
+		BudgetBytes: vcfg.MaxBytes,
+	}
+	return rows, stats, nil
+}

@@ -20,9 +20,13 @@ const benchDiffTolerance = 0.25
 // contention figure carries one: if the snapshot read path stops
 // out-serving the locked baseline by at least 2x under an 8-reader
 // storm, a lock has crept back into query serving and the build fails
-// even against a weak baseline.
+// even against a weak baseline. QueryViews carries one too: on the
+// Zipf-skewed dashboard workload the materialized rollup views must
+// out-serve the base subcube path at least 1.5x, or view selection has
+// stopped paying for its bytes.
 var benchDiffAbsFloors = map[string]float64{
 	"ReadQPS/g8": 2.0,
+	"QueryViews": 1.5,
 }
 
 // loadBenchReport reads a benchmark artifact in either format: the
@@ -49,6 +53,9 @@ func loadBenchReport(path string) (benchReport, error) {
 func pathPair(op string) (base, improved string) {
 	if strings.HasPrefix(op, "ReadQPS") {
 		return "locked", "snapshot"
+	}
+	if op == "QueryViews" {
+		return "views-off", "views-on"
 	}
 	return "interpreted", "compiled"
 }
@@ -125,6 +132,38 @@ func gatedOp(op string) bool {
 	}
 	_, hasAbs := benchDiffAbsFloors[op]
 	return hasAbs
+}
+
+// checkViewStats validates the view-counter citation accompanying a
+// candidate's QueryViews rows: the speedup must come from view serving.
+// No hits, a miss rate above a tenth of the traffic, or a view set over
+// its own byte budget each mean the ratio measured something else, and
+// the artifact is rejected rather than compared.
+func checkViewStats(vs *viewStats) error {
+	if vs == nil {
+		return fmt.Errorf("QueryViews measured but no view-counter citation in the artifact")
+	}
+	if vs.Hits <= 0 {
+		return fmt.Errorf("views-on run recorded no view hits (misses=%d)", vs.Misses)
+	}
+	if vs.Misses*10 > vs.Hits {
+		return fmt.Errorf("views-on run missed %d of %d view lookups; the measured path is not view serving",
+			vs.Misses, vs.Hits+vs.Misses)
+	}
+	if vs.Bytes <= 0 || vs.Bytes > vs.BudgetBytes {
+		return fmt.Errorf("view set holds %d bytes against a %d-byte budget", vs.Bytes, vs.BudgetBytes)
+	}
+	return nil
+}
+
+// hasOp reports whether any row measures the op.
+func hasOp(rows []benchRow, op string) bool {
+	for _, r := range rows {
+		if r.Op == op {
+			return true
+		}
+	}
+	return false
 }
 
 // runBenchDiff compares the speedup ratios of two benchmark artifacts
@@ -213,7 +252,16 @@ func runBenchDiff(spec string) error {
 		fmt.Println(line)
 	}
 
-	writeBenchDiffSummary(lines)
+	if hasOp(newReport.Rows, "QueryViews") {
+		if err := checkViewStats(newReport.Views); err != nil {
+			return fmt.Errorf("%s: %w", parts[1], err)
+		}
+		v := newReport.Views
+		fmt.Printf("QueryViews citation: %d view hits, %d misses, %d builds, %d/%d bytes of budget\n",
+			v.Hits, v.Misses, v.Builds, v.Bytes, v.BudgetBytes)
+	}
+
+	writeBenchDiffSummary(lines, newReport.Views)
 
 	if len(missing) > 0 {
 		return fmt.Errorf("ops missing from %s: %s (present in %s; refusing to compare a partial artifact)",
@@ -225,9 +273,10 @@ func runBenchDiff(spec string) error {
 	return nil
 }
 
-// writeBenchDiffSummary appends a markdown table of the compared ops to
+// writeBenchDiffSummary appends a markdown table of the compared ops —
+// plus the view-counter citation backing any QueryViews row — to
 // $GITHUB_STEP_SUMMARY when CI provides one.
-func writeBenchDiffSummary(lines []benchDiffLine) {
+func writeBenchDiffSummary(lines []benchDiffLine, views *viewStats) {
 	path := os.Getenv("GITHUB_STEP_SUMMARY")
 	if path == "" || len(lines) == 0 {
 		return
@@ -258,4 +307,8 @@ func writeBenchDiffSummary(lines []benchDiffLine) {
 		fmt.Fprintf(f, "| %s | %.2fx | %.2fx | %s | %s |\n", l.op, l.oldS, l.newS, floor, status)
 	}
 	fmt.Fprintln(f)
+	if views != nil {
+		fmt.Fprintf(f, "QueryViews citation: ViewHits=%d ViewMisses=%d ViewBuilds=%d ViewBytes=%d/%d budget\n\n",
+			views.Hits, views.Misses, views.Builds, views.Bytes, views.BudgetBytes)
+	}
 }

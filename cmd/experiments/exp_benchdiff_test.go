@@ -4,6 +4,8 @@ import (
 	"math"
 	"strings"
 	"testing"
+
+	"dimred/internal/views"
 )
 
 // TestSpeedups covers the pair arithmetic and its failure modes: a
@@ -26,6 +28,19 @@ func TestSpeedups(t *testing.T) {
 		}
 		if got := s["ReadQPS/g8"]; got != 4 {
 			t.Errorf("ReadQPS/g8 speedup = %v, want 4", got)
+		}
+	})
+
+	t.Run("QueryViews pairs views-off with views-on", func(t *testing.T) {
+		s, err := speedups([]benchRow{
+			{Op: "QueryViews", Path: "views-off", NsPerOp: 600},
+			{Op: "QueryViews", Path: "views-on", NsPerOp: 200},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := s["QueryViews"]; got != 3 {
+			t.Errorf("QueryViews speedup = %v, want 3", got)
 		}
 	})
 
@@ -78,4 +93,38 @@ func TestSpeedups(t *testing.T) {
 			t.Errorf("error should name the op: %v", err)
 		}
 	})
+}
+
+// TestCheckViewStats pins the QueryViews citation gate: the 1.5x floor
+// only means anything if the measured fast path really was view serving
+// within budget.
+func TestCheckViewStats(t *testing.T) {
+	good := viewStats{Hits: 1000, Misses: 2, Builds: 4, Bytes: 5000, BudgetBytes: views.DefaultMaxBytes}
+	if err := checkViewStats(&good); err != nil {
+		t.Errorf("healthy citation rejected: %v", err)
+	}
+	cases := map[string]viewStats{
+		"no hits":        {Hits: 0, Misses: 5, Bytes: 100, BudgetBytes: 1000},
+		"miss-dominated": {Hits: 100, Misses: 50, Bytes: 100, BudgetBytes: 1000},
+		"over budget":    {Hits: 1000, Bytes: 2000, BudgetBytes: 1000},
+		"no bytes":       {Hits: 1000, Bytes: 0, BudgetBytes: 1000},
+	}
+	for name, vs := range cases {
+		vs := vs
+		if err := checkViewStats(&vs); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	if err := checkViewStats(nil); err == nil {
+		t.Error("missing citation accepted")
+	}
+	if !gatedOp("QueryViews") {
+		t.Error("QueryViews is not gated")
+	}
+	if base, improved := pathPair("QueryViews"); base != "views-off" || improved != "views-on" {
+		t.Errorf("pathPair(QueryViews) = %q, %q", base, improved)
+	}
+	if benchDiffAbsFloors["QueryViews"] < 1.5 {
+		t.Errorf("QueryViews absolute floor = %v, want >= 1.5", benchDiffAbsFloors["QueryViews"])
+	}
 }

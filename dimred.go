@@ -32,6 +32,7 @@ import (
 	"dimred/internal/query"
 	"dimred/internal/spec"
 	"dimred/internal/subcube"
+	"dimred/internal/views"
 	"dimred/internal/warehouse"
 )
 
@@ -267,6 +268,14 @@ type (
 	// LatencySnapshot summarizes one latency histogram (count, mean,
 	// bucket-bounded p50/p95/p99, max).
 	LatencySnapshot = obs.HistogramSnapshot
+	// ViewConfig budgets the materialized rollup-view lattice
+	// (Warehouse.EnableViews): MaxBytes caps the modeled bytes the view
+	// set may retain, MaxViews its cardinality; the zero value applies
+	// the package defaults. Views answer predicate-free availability
+	// queries from the smallest fresh materialized ancestor and are
+	// invalidated, never served stale, across loads, clock advances and
+	// specification updates.
+	ViewConfig = views.Config
 )
 
 // NewCubeSet builds the subcube layout for a specification.

@@ -16,6 +16,7 @@ var DefaultNowflowRestricted = []string{
 	"internal/specexec",
 	"internal/sched",
 	"internal/subcube",
+	"internal/views",
 }
 
 // NewNowflow builds the nowflow analyzer: a forward taint analysis

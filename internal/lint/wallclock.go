@@ -22,6 +22,7 @@ var DefaultWallclockRestricted = []string{
 	"internal/caltime",
 	"internal/sched",
 	"internal/subcube",
+	"internal/views",
 	"internal/warehouse",
 }
 

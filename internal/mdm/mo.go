@@ -263,3 +263,30 @@ func (m *MO) Dump() string {
 	}
 	return b.String()
 }
+
+// DumpCells renders the fact set sorted by cell with measures and base
+// counts but without the display names, which encode the provenance of
+// the physical plan (which intermediate facts merged into the result),
+// not data. Differential tests compare two plans for the same query —
+// e.g. a view-served answer against the base-path answer — for byte
+// equality of everything semantic.
+func (m *MO) DumpCells() string {
+	lines := make([]string, 0, m.Len())
+	for f := 0; f < m.Len(); f++ {
+		fid := FactID(f)
+		var b strings.Builder
+		fmt.Fprintf(&b, "%s |", m.CellString(fid))
+		for j := range m.schema.Measures {
+			fmt.Fprintf(&b, " %s=%v", m.schema.Measures[j].Name, m.meas[j][f])
+		}
+		fmt.Fprintf(&b, " | base=%d", m.baseCount[f])
+		lines = append(lines, b.String())
+	}
+	sort.Strings(lines)
+	var b strings.Builder
+	for _, l := range lines {
+		b.WriteString(l)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

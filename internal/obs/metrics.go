@@ -49,6 +49,12 @@ type Metrics struct {
 	RowsScanned    Counter // rows visited by query scans
 	RowsSelected   Counter // scanned rows surviving the predicate
 
+	// Materialized rollup views (warehouse).
+	ViewHits   Counter // queries answered from a materialized view
+	ViewMisses Counter // view-eligible queries that fell back to the base subcubes
+	ViewBuilds Counter // views materialized by commit-path refreshes
+	ViewBytes  Gauge   // modeled bytes retained by the published view set
+
 	// Epoch-snapshot read path (warehouse).
 	SnapshotPublishes  Counter // snapshots published by writers (including clock-only refreshes)
 	SnapshotDrainWaits Counter // publishes that had to wait for pinned readers to drain
@@ -111,6 +117,11 @@ type MetricsSnapshot struct {
 	RowsScanned    int64
 	RowsSelected   int64
 
+	ViewHits   int64
+	ViewMisses int64
+	ViewBuilds int64
+	ViewBytes  int64
+
 	SnapshotPublishes  int64
 	SnapshotDrainWaits int64
 	SnapshotRebuilds   int64
@@ -157,6 +168,11 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		RowsScanned:    m.RowsScanned.Load(),
 		RowsSelected:   m.RowsSelected.Load(),
 
+		ViewHits:   m.ViewHits.Load(),
+		ViewMisses: m.ViewMisses.Load(),
+		ViewBuilds: m.ViewBuilds.Load(),
+		ViewBytes:  m.ViewBytes.Load(),
+
 		SnapshotPublishes:  m.SnapshotPublishes.Load(),
 		SnapshotDrainWaits: m.SnapshotDrainWaits.Load(),
 		SnapshotRebuilds:   m.SnapshotRebuilds.Load(),
@@ -201,6 +217,9 @@ func (s MetricsSnapshot) Sub(prev MetricsSnapshot) MetricsSnapshot {
 	d.CubesPruned -= prev.CubesPruned
 	d.RowsScanned -= prev.RowsScanned
 	d.RowsSelected -= prev.RowsSelected
+	d.ViewHits -= prev.ViewHits
+	d.ViewMisses -= prev.ViewMisses
+	d.ViewBuilds -= prev.ViewBuilds
 	d.SnapshotPublishes -= prev.SnapshotPublishes
 	d.SnapshotDrainWaits -= prev.SnapshotDrainWaits
 	d.SnapshotRebuilds -= prev.SnapshotRebuilds
@@ -249,6 +268,10 @@ func (s MetricsSnapshot) String() string {
 	row(&b, "cubes pruned (zone map)", s.CubesPruned)
 	row(&b, "rows scanned", s.RowsScanned)
 	row(&b, "rows selected", s.RowsSelected)
+	row(&b, "view hits", s.ViewHits)
+	row(&b, "view misses", s.ViewMisses)
+	row(&b, "view builds", s.ViewBuilds)
+	row(&b, "view bytes", s.ViewBytes)
 	padLabel(&b, "query latency")
 	b.WriteString(s.QueryDuration.String())
 	b.WriteByte('\n')

@@ -1,0 +1,37 @@
+package obs
+
+import "sync"
+
+// ShapeStats is a lock-free frequency table of observed query shapes,
+// keyed by an opaque shape string (the warehouse encodes the requested
+// target granularity). The lock-free query path records into it with
+// one sync.Map load plus one atomic add in steady state, and the
+// materialized-view selector reads the accumulated trace to learn which
+// rollup levels the workload actually asks for. The table is bounded by
+// the category-type lattice: there are only as many distinct shapes as
+// granularities, so it never needs eviction.
+type ShapeStats struct {
+	m sync.Map // shape key → *Counter
+}
+
+// Record counts one observation of the shape.
+func (s *ShapeStats) Record(key string) {
+	if c, ok := s.m.Load(key); ok {
+		c.(*Counter).Inc()
+		return
+	}
+	c, _ := s.m.LoadOrStore(key, &Counter{})
+	c.(*Counter).Inc()
+}
+
+// Counts copies the current per-shape totals. Concurrent recorders may
+// land between the reads; the copy is consistent enough for view
+// selection, never for accounting.
+func (s *ShapeStats) Counts() map[string]int64 {
+	out := map[string]int64{}
+	s.m.Range(func(k, v any) bool {
+		out[k.(string)] = v.(*Counter).Load()
+		return true
+	})
+	return out
+}

@@ -1,0 +1,44 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestShapeStatsConcurrent(t *testing.T) {
+	var s ShapeStats
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				s.Record(fmt.Sprintf("shape-%d", i%3))
+			}
+		}(w)
+	}
+	wg.Wait()
+	counts := s.Counts()
+	if len(counts) != 3 {
+		t.Fatalf("got %d shapes, want 3", len(counts))
+	}
+	var total int64
+	for k, n := range counts {
+		if n <= 0 {
+			t.Errorf("shape %s has non-positive count %d", k, n)
+		}
+		total += n
+	}
+	if total != workers*per {
+		t.Fatalf("total = %d, want %d", total, workers*per)
+	}
+}
+
+func TestShapeStatsEmpty(t *testing.T) {
+	var s ShapeStats
+	if got := s.Counts(); len(got) != 0 {
+		t.Fatalf("empty stats returned %v", got)
+	}
+}

@@ -75,6 +75,14 @@ func TestTwoStepAggregationDistributive(t *testing.T) {
 			t.Errorf("two-step via %v differs from direct:\n%s\nvs\n%s",
 				refs, canonAgg(step2), canonAgg(direct))
 		}
+		// The materialized-view planner serves α[target] from a view
+		// α[mid] whenever mid <=_g target; byte equality of the
+		// canonical cell dump (measures and base counts) is exactly the
+		// soundness condition it relies on.
+		if step2.DumpCells() != direct.DumpCells() {
+			t.Errorf("two-step via %v changes base counts:\n%s\nvs\n%s",
+				refs, step2.DumpCells(), direct.DumpCells())
+		}
 	}
 }
 

@@ -1,0 +1,89 @@
+package views
+
+import (
+	"sort"
+
+	"dimred/internal/mdm"
+	"dimred/internal/spec"
+	"dimred/internal/storage"
+)
+
+// Candidate is one granularity the greedy selector may materialize,
+// scored from the observed query-shape trace.
+type Candidate struct {
+	Key   string
+	Gran  mdm.Granularity
+	Count int64 // observed view-eligible queries at this shape
+	// EstRows and EstBytes bound the view's size from the dimension
+	// value universes; Build re-checks the actual size against the
+	// budget after materializing.
+	EstRows  int64
+	EstBytes int64
+	// Benefit is the classic benefit-per-byte score: rows a query at
+	// this shape no longer scans, times how often the shape is asked,
+	// per estimated view row retained.
+	Benefit float64
+}
+
+// Candidates scores the observed shape counts against the base row
+// count. Shapes that fail to decode (a schema change since recording)
+// or estimate no saving over scanning the base subcubes are dropped.
+func Candidates(env *spec.Env, counts map[string]int64, baseRows int64, layout storage.Layout) []Candidate {
+	cands := make([]Candidate, 0, len(counts))
+	for key, count := range counts {
+		if count <= 0 {
+			continue
+		}
+		g, err := spec.DecodeGran(env, key)
+		if err != nil {
+			continue
+		}
+		estRows := spec.EstimateCells(env, g)
+		if estRows > baseRows {
+			estRows = baseRows
+		}
+		saved := baseRows - estRows
+		if saved <= 0 || estRows <= 0 {
+			continue
+		}
+		cands = append(cands, Candidate{
+			Key:      key,
+			Gran:     g,
+			Count:    count,
+			EstRows:  estRows,
+			EstBytes: estRows * layout.RowBytes(),
+			Benefit:  float64(count) * float64(saved) / float64(estRows),
+		})
+	}
+	return cands
+}
+
+// Select greedily picks candidates by descending benefit per byte
+// until the byte budget or the view-count cap is exhausted; a
+// candidate whose estimate overflows the remaining budget is skipped
+// and the scan continues, so a cheap high-benefit view behind an
+// expensive one still lands. Ties break on the shape key, keeping the
+// selection deterministic for a given trace.
+func Select(cands []Candidate, cfg Config) []Candidate {
+	cfg = cfg.withDefaults()
+	sorted := append([]Candidate(nil), cands...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Benefit != sorted[j].Benefit {
+			return sorted[i].Benefit > sorted[j].Benefit
+		}
+		return sorted[i].Key < sorted[j].Key
+	})
+	var picked []Candidate
+	var spent int64
+	for _, c := range sorted {
+		if len(picked) >= cfg.MaxViews {
+			break
+		}
+		if spent+c.EstBytes > cfg.MaxBytes {
+			continue
+		}
+		picked = append(picked, c)
+		spent += c.EstBytes
+	}
+	return picked
+}

@@ -1,0 +1,226 @@
+package views
+
+import (
+	"testing"
+
+	"dimred/internal/caltime"
+	"dimred/internal/dims"
+	"dimred/internal/mdm"
+	"dimred/internal/obs"
+	"dimred/internal/query"
+	"dimred/internal/spec"
+	"dimred/internal/storage"
+	"dimred/internal/subcube"
+)
+
+// paperCubes builds a cube set over the paper's Appendix A object under
+// the a1/a2 specification, loaded with the seven example facts.
+func paperCubes(t *testing.T) (*spec.Env, *subcube.CubeSet) {
+	t.Helper()
+	p := dims.MustPaperMO()
+	env, err := spec.NewEnv(p.Schema, "Time", p.Time)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a1 := spec.MustCompileString("a1",
+		`aggregate [Time.month, URL.domain] where URL.domain_grp = ".com" and NOW - 12 months < Time.month and Time.month <= NOW - 6 months`, env)
+	a2 := spec.MustCompileString("a2",
+		`aggregate [Time.quarter, URL.domain] where URL.domain_grp = ".com" and Time.quarter <= NOW - 4 quarters`, env)
+	sp, err := spec.New(env, a1, a2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, err := subcube.New(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cs.InsertMO(p.MO); err != nil {
+		t.Fatal(err)
+	}
+	return env, cs
+}
+
+func granOf(t *testing.T, env *spec.Env, refs ...string) mdm.Granularity {
+	t.Helper()
+	g, err := env.Schema.ParseGranularity(refs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func candOf(t *testing.T, env *spec.Env, refs ...string) Candidate {
+	t.Helper()
+	g := granOf(t, env, refs...)
+	return Candidate{Key: spec.EncodeGran(g), Gran: g}
+}
+
+func TestSelectGreedyBenefitPerByte(t *testing.T) {
+	cands := []Candidate{
+		{Key: "a", EstBytes: 100, Benefit: 5},
+		{Key: "b", EstBytes: 100, Benefit: 9},
+		{Key: "c", EstBytes: 300, Benefit: 7},
+		{Key: "d", EstBytes: 100, Benefit: 7}, // ties with c on benefit; key breaks it
+	}
+	picked := Select(cands, Config{MaxBytes: 300, MaxViews: 8})
+	got := make([]string, len(picked))
+	for i, c := range picked {
+		got[i] = c.Key
+	}
+	// b (9) first, then c (300 bytes) overflows the remaining 200 and is
+	// skipped, then d (100) and a (100) fill the budget.
+	want := []string{"b", "d", "a"}
+	if len(got) != len(want) {
+		t.Fatalf("picked %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("picked %v, want %v", got, want)
+		}
+	}
+	if p2 := Select(cands, Config{MaxBytes: 300, MaxViews: 1}); len(p2) != 1 || p2[0].Key != "b" {
+		t.Fatalf("MaxViews=1 picked %v", p2)
+	}
+}
+
+func TestCandidatesScoring(t *testing.T) {
+	env, _ := paperCubes(t)
+	layout := storage.Layout{DimCols: env.Schema.NumDims(), MeasCols: len(env.Schema.Measures)}
+	month := granOf(t, env, "Time.month", "URL.domain")
+	bottom := env.Schema.BottomGranularity()
+	counts := map[string]int64{
+		spec.EncodeGran(month):  10,
+		spec.EncodeGran(bottom): 50,
+		"not-a-key":             99, // undecodable: dropped
+	}
+	// The bottom shape's cell estimate (20 = 5 days × 4 urls) caps at the
+	// base row count, so it estimates no saving and is dropped; the
+	// month shape (9 cells) keeps an 11-row saving.
+	cands := Candidates(env, counts, 20, layout)
+	if len(cands) != 1 || cands[0].Key != spec.EncodeGran(month) {
+		t.Fatalf("got candidates %+v, want only the month shape", cands)
+	}
+	c := cands[0]
+	if c.Count != 10 || c.Benefit <= 0 || c.EstRows != 9 || c.EstBytes != 9*layout.RowBytes() {
+		t.Fatalf("bad candidate: %+v", c)
+	}
+	// Against a huge base everything decodable saves rows.
+	if got := Candidates(env, counts, 1_000_000, layout); len(got) != 2 {
+		t.Fatalf("got %d candidates against a large base, want 2: %+v", len(got), got)
+	}
+}
+
+func TestBuildAndAnswerMatchesBasePath(t *testing.T) {
+	env, cs := paperCubes(t)
+	at := caltime.Date(2000, 5, 1)
+	if _, err := cs.Sync(at); err != nil {
+		t.Fatal(err)
+	}
+	met := obs.NewMetrics()
+	gen := cs.Spec().Generation()
+	cands := []Candidate{
+		candOf(t, env, "Time.quarter", "URL.domain"),
+		candOf(t, env, "Time.year", "URL.domain_grp"),
+	}
+	set := Build(env, cs, cands, at, Config{}, met)
+	if set == nil || set.Len() != 2 {
+		t.Fatalf("built %d views, want 2", set.Len())
+	}
+	if met.ViewBuilds.Load() != 2 {
+		t.Fatalf("ViewBuilds = %d, want 2", met.ViewBuilds.Load())
+	}
+	// Views are sorted smallest first.
+	vs := set.Views()
+	for i := 1; i < len(vs); i++ {
+		if vs[i-1].Rows() > vs[i].Rows() {
+			t.Fatalf("views not sorted by rows: %d then %d", vs[i-1].Rows(), vs[i].Rows())
+		}
+	}
+
+	for _, target := range []mdm.Granularity{
+		granOf(t, env, "Time.quarter", "URL.domain"),
+		granOf(t, env, "Time.quarter", "URL.domain_grp"),
+		granOf(t, env, "Time.year", "URL.TOP"),
+	} {
+		q := subcube.Query{Target: target, Sel: query.Conservative, Agg: query.Availability}
+		served, ok := set.Answer(env.Schema, q, at, gen)
+		if !ok {
+			t.Fatalf("no view served %s", env.Schema.GranString(target))
+		}
+		base, err := cs.Evaluate(q, at)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if served.DumpCells() != base.DumpCells() {
+			t.Errorf("view answer diverged at %s:\nview:\n%s\nbase:\n%s",
+				env.Schema.GranString(target), served.DumpCells(), base.DumpCells())
+		}
+	}
+
+	// A target below every view falls through.
+	if _, ok := set.Answer(env.Schema, subcube.Query{
+		Target: granOf(t, env, "Time.month", "URL.domain"),
+		Sel:    query.Conservative, Agg: query.Availability,
+	}, at, gen); ok {
+		t.Error("month-level query served from quarter-level views")
+	}
+	// Staleness: wrong clock or wrong generation is skipped, not served.
+	q := subcube.Query{Target: granOf(t, env, "Time.year", "URL.TOP"),
+		Sel: query.Conservative, Agg: query.Availability}
+	if _, ok := set.Answer(env.Schema, q, at+1, gen); ok {
+		t.Error("served at a clock the set was not built at")
+	}
+	if _, ok := set.Answer(env.Schema, q, at, gen+1); ok {
+		t.Error("served under a spec generation the set was not built under")
+	}
+}
+
+func TestBuildRespectsByteBudget(t *testing.T) {
+	env, cs := paperCubes(t)
+	at := caltime.Date(2000, 5, 1)
+	if _, err := cs.Sync(at); err != nil {
+		t.Fatal(err)
+	}
+	met := obs.NewMetrics()
+	cands := []Candidate{
+		candOf(t, env, "Time.quarter", "URL.domain"),
+		candOf(t, env, "Time.year", "URL.domain_grp"),
+	}
+	full := Build(env, cs, cands, at, Config{}, met)
+	if full == nil || full.Len() != 2 {
+		t.Fatalf("unbudgeted build made %d views", full.Len())
+	}
+	// A budget that only fits the smaller view drops the larger one.
+	smallest := full.Views()[0].Bytes()
+	tight := Build(env, cs, cands, at, Config{MaxBytes: smallest}, met)
+	if tight == nil {
+		t.Fatal("tight build returned nil")
+	}
+	if tight.Bytes() > smallest {
+		t.Fatalf("tight build retains %d bytes over budget %d", tight.Bytes(), smallest)
+	}
+	// A budget below every view materializes nothing.
+	if got := Build(env, cs, cands, at, Config{MaxBytes: 1}, met); got != nil {
+		t.Fatalf("1-byte budget built %d views", got.Len())
+	}
+}
+
+func TestBuildSkipsMixedGranularityViews(t *testing.T) {
+	env, cs := paperCubes(t)
+	// Sync far in the future: a1/a2 fold the paper facts up to month and
+	// quarter, so a week-level view would have to keep folded rows above
+	// its own granularity — not the pure distributive fold — and must be
+	// rejected.
+	at := caltime.Date(2001, 6, 1)
+	if _, err := cs.Sync(at); err != nil {
+		t.Fatal(err)
+	}
+	met := obs.NewMetrics()
+	set := Build(env, cs, []Candidate{candOf(t, env, "Time.week", "URL.url")}, at, Config{}, met)
+	if set != nil {
+		t.Fatalf("mixed-granularity view was materialized: %d views", set.Len())
+	}
+	if met.ViewBuilds.Load() != 0 {
+		t.Fatalf("ViewBuilds = %d for a skipped view", met.ViewBuilds.Load())
+	}
+}

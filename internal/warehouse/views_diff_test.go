@@ -1,0 +1,357 @@
+package warehouse
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"dimred/internal/caltime"
+	"dimred/internal/mdm"
+	"dimred/internal/query"
+	"dimred/internal/spec"
+	"dimred/internal/subcube"
+	"dimred/internal/views"
+	"dimred/internal/workload"
+)
+
+// viewDiffBattery is the query battery the three-way differential runs
+// at every step: the view-servable shapes, a predicated shape, and the
+// quarter shape under every selection and aggregation approach —
+// Liberal, Weighted, Strict, LUB and Disaggregated all fall back to the
+// base path, and must agree with the oracle whether or not a view also
+// answered the availability form.
+func viewDiffBattery(env *spec.Env) []subcube.Query {
+	var out []subcube.Query
+	for _, src := range viewShapeQueries {
+		out = append(out, subcube.MustParseQuery(src, env))
+	}
+	out = append(out, subcube.MustParseQuery(
+		`aggregate [Time.month, URL.domain] where Time.month <= NOW - 2 months`, env))
+	base := subcube.MustParseQuery(`aggregate [Time.quarter, URL.domain_grp]`, env)
+	for _, agg := range []query.AggApproach{query.Strict, query.LUB, query.Disaggregated} {
+		q := base
+		q.Agg = agg
+		out = append(out, q)
+	}
+	liberal := base
+	liberal.Sel = query.Liberal
+	out = append(out, liberal)
+	weighted := subcube.MustParseQuery(
+		`aggregate [Time.quarter, URL.domain_grp] where Time.month <= NOW - 1 months`, env)
+	weighted.Sel = query.Weighted
+	out = append(out, weighted)
+	return out
+}
+
+// TestDifferentialViewsVsBaseVsOracle drives a views-enabled warehouse,
+// a views-disabled warehouse and an interpreted oracle cube set through
+// one op script — batch loads, single-fact loads that leave the
+// published snapshot without views, clock advances across sync
+// boundaries, spec churn — and asserts the full battery answers
+// byte-identically (canonical cells, measures and base counts) on all
+// three at every step. View serving must be a pure read optimization:
+// no query result may depend on whether a view answered it.
+func TestDifferentialViewsVsBaseVsOracle(t *testing.T) {
+	obj, err := workload.NewClickSchema()
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := spec.NewEnv(obj.Schema, "Time", obj.Time)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mAct, qAct, churn := stressSpec(t, env)
+	wOn, err := Open(env, mAct, qAct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wOff, err := Open(env, mAct, qAct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracleSpec, err := spec.New(env, mAct, qAct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle, err := subcube.New(oracleSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle.SetInterpreted(true)
+
+	start := caltime.Date(2000, 1, 1)
+	refs, meas := stressRows(t, obj, 240, start)
+	battery := viewDiffBattery(env)
+
+	compare := func(step string) {
+		t.Helper()
+		at := wOn.Now()
+		for i, q := range battery {
+			got, err := wOn.QueryAt(q, at)
+			if err != nil {
+				t.Fatalf("%s: views-on query %d: %v", step, i, err)
+			}
+			base, err := wOff.QueryAt(q, at)
+			if err != nil {
+				t.Fatalf("%s: views-off query %d: %v", step, i, err)
+			}
+			want, err := oracle.Evaluate(q, at)
+			if err != nil {
+				t.Fatalf("%s: oracle query %d: %v", step, i, err)
+			}
+			if g, b := got.DumpCells(), base.DumpCells(); g != b {
+				t.Fatalf("%s: query %d diverged\nviews-on:\n%s\nviews-off:\n%s", step, i, g, b)
+			}
+			if g, o := got.DumpCells(), want.DumpCells(); g != o {
+				t.Fatalf("%s: query %d diverged\nviews-on:\n%s\ninterpreted oracle:\n%s", step, i, g, o)
+			}
+		}
+	}
+
+	// Mirror warehouse syncs onto the oracle; both warehouses run the
+	// same script, so their sync counts stay in lockstep.
+	syncsSeen := wOn.Metrics().Syncs
+	mirrorSync := func() {
+		t.Helper()
+		if on, off := wOn.Metrics().Syncs, wOff.Metrics().Syncs; on != off {
+			t.Fatalf("warehouses out of lockstep: %d vs %d syncs", on, off)
+		}
+		if n := wOn.Metrics().Syncs; n != syncsSeen {
+			syncsSeen = n
+			if _, err := oracle.Sync(wOn.Now()); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	advance := func(d caltime.Day) {
+		t.Helper()
+		if err := wOn.AdvanceTo(d); err != nil {
+			t.Fatal(err)
+		}
+		if err := wOff.AdvanceTo(d); err != nil {
+			t.Fatal(err)
+		}
+		mirrorSync()
+		compare(fmt.Sprintf("advance to %v", d))
+	}
+	loadBoth := func(lo, hi int) {
+		t.Helper()
+		for _, w := range []*Warehouse{wOn, wOff} {
+			err := w.LoadBatch(func(ld func([]mdm.ValueID, []float64) error) error {
+				for i := lo; i < hi; i++ {
+					if err := ld(refs[i], meas[i]); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := lo; i < hi; i++ {
+			if err := oracle.Insert(refs[i], meas[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		mirrorSync()
+		compare(fmt.Sprintf("load [%d,%d)", lo, hi))
+	}
+
+	advance(caltime.Date(2000, 6, 1))
+	compare("before enable") // also records the battery's shapes on wOn
+	if err := wOn.EnableViews(views.Config{}); err != nil {
+		t.Fatal(err)
+	}
+	loadBoth(0, 80)
+	advance(caltime.Date(2000, 8, 1))
+	if n, _ := wOn.ViewStats(); n == 0 {
+		t.Fatal("no views materialized by the sync-carrying advance")
+	}
+	compare("with views live")
+
+	// A single-fact load invalidates the views mid-script: the published
+	// snapshot answers from base until the next sync, and must still
+	// agree everywhere.
+	if err := wOn.Load(refs[80], meas[80]); err != nil {
+		t.Fatal(err)
+	}
+	if err := wOff.Load(refs[80], meas[80]); err != nil {
+		t.Fatal(err)
+	}
+	if err := oracle.Insert(refs[80], meas[80]); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := wOn.ViewStats(); n != 0 {
+		t.Fatalf("%d views survived a mutating commit", n)
+	}
+	compare("unsynced single-fact load")
+	loadBoth(81, 160)
+
+	// Spec churn bumps the generation on both warehouses and the oracle.
+	for _, w := range []*Warehouse{wOn, wOff} {
+		if err := w.InsertActions(churn); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := oracleSpec.Insert(churn); err != nil {
+		t.Fatal(err)
+	}
+	if err := oracle.ApplySpec(oracleSpec, wOn.Now()); err != nil {
+		t.Fatal(err)
+	}
+	compare("insert churn action")
+	if err := wOn.RefreshViews(); err != nil {
+		t.Fatal(err)
+	}
+	compare("refresh under churned spec")
+
+	advance(caltime.Date(2001, 1, 1))
+	loadBoth(160, 240)
+	advance(caltime.Date(2001, 6, 1))
+
+	if hits := wOn.Metrics().ViewHits; hits == 0 {
+		t.Error("differential never exercised a view-served answer")
+	}
+}
+
+// TestStressViewsNeverServeStale races readers against a writer that
+// interleaves batch loads, clock advances, spec churn and view
+// enable/refresh/disable, with the rollup-view lattice live. Readers
+// re-check the snapshot atomicity invariants on a view-servable shape:
+// totals advance in whole batches and never go backwards. A view
+// serving a stale generation or build clock would answer with a
+// pre-batch total after a newer one was observed, breaking
+// monotonicity; under -race this also checks the view set rides the
+// pin/publish/drain protocol's happens-before edges.
+func TestStressViewsNeverServeStale(t *testing.T) {
+	obj, err := workload.NewClickSchema()
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := spec.NewEnv(obj.Schema, "Time", obj.Time)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mAct, qAct, churn := stressSpec(t, env)
+	w, err := Open(env, mAct, qAct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := caltime.Date(2000, 1, 1)
+	if err := w.AdvanceTo(caltime.Date(2000, 6, 1)); err != nil {
+		t.Fatal(err)
+	}
+
+	const (
+		initRows   = 200
+		batches    = 24
+		batchRows  = 25
+		readerGoro = 4
+	)
+	refs, meas := stressRows(t, obj, initRows+batches*batchRows, start)
+	load := func(lo, hi int) error {
+		return w.LoadBatch(func(ld func([]mdm.ValueID, []float64) error) error {
+			for i := lo; i < hi; i++ {
+				if err := ld(refs[i], meas[i]); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	}
+	if err := load(0, initRows); err != nil {
+		t.Fatal(err)
+	}
+
+	q := subcube.MustParseQuery(`aggregate [Time.quarter, URL.domain_grp]`, env)
+	// Seed the shape trace so every refresh has a view to build.
+	if _, err := w.QueryAt(q, w.Now()); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.EnableViews(views.Config{}); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < readerGoro; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			lastCount := float64(0)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				res, err := w.QueryAt(q, w.Now())
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				tot := grandTotals(res)
+				count := tot[0]
+				k := (count - initRows) / batchRows
+				if k != float64(int(k)) || k < 0 || k > batches {
+					t.Errorf("count %v is not initial %d plus whole batches of %d", count, initRows, batchRows)
+					return
+				}
+				if count < lastCount {
+					t.Errorf("count went backwards: %v after %v — a stale view was served", count, lastCount)
+					return
+				}
+				lastCount = count
+				if tot[1] != 2*count || tot[2] != 3*count || tot[3] != 5*count {
+					t.Errorf("measure totals %v out of lockstep with count %v", tot, count)
+					return
+				}
+			}
+		}()
+	}
+
+	for b := 0; b < batches; b++ {
+		lo := initRows + b*batchRows
+		if err := load(lo, lo+batchRows); err != nil {
+			t.Fatal(err)
+		}
+		switch b % 6 {
+		case 1:
+			if err := w.InsertActions(churn); err != nil {
+				t.Fatal(err)
+			}
+		case 3:
+			if err := w.DeleteActions("y"); err != nil {
+				t.Fatal(err)
+			}
+		case 2:
+			if err := w.AdvanceTo(w.Now() + 1); err != nil {
+				t.Fatal(err)
+			}
+		case 4:
+			if err := w.RefreshViews(); err != nil {
+				t.Fatal(err)
+			}
+		case 5:
+			w.DisableViews()
+			if err := w.EnableViews(views.Config{}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	res, err := w.QueryAt(q, w.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tot := grandTotals(res); tot[0] != initRows+batches*batchRows {
+		t.Errorf("final count = %v, want %d", tot[0], initRows+batches*batchRows)
+	}
+	m := w.Metrics()
+	if m.ViewBuilds == 0 {
+		t.Error("storm never built a view")
+	}
+}

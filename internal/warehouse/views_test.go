@@ -1,0 +1,201 @@
+package warehouse
+
+import (
+	"testing"
+
+	"dimred/internal/caltime"
+	"dimred/internal/query"
+	"dimred/internal/spec"
+	"dimred/internal/subcube"
+	"dimred/internal/views"
+	"dimred/internal/workload"
+)
+
+// viewShapeQueries is a battery of view-eligible (predicate-free,
+// availability) query shapes over the click schema.
+var viewShapeQueries = []string{
+	`aggregate [Time.month, URL.domain]`,
+	`aggregate [Time.quarter, URL.domain]`,
+	`aggregate [Time.quarter, URL.domain_grp]`,
+	`aggregate [Time.year, URL.domain_grp]`,
+}
+
+// openViewWarehouse loads a synced click warehouse, records the shape
+// battery, and enables views so every shape is materialized.
+func openViewWarehouse(t *testing.T) (*Warehouse, *workload.ClickObject) {
+	t.Helper()
+	w, obj := openClickWarehouse(t)
+	start := caltime.Date(2000, 1, 1)
+	if err := w.AdvanceTo(start); err != nil {
+		t.Fatal(err)
+	}
+	cfg := workload.ClickConfig{Seed: 11, Start: start, Days: 120, ClicksPerDay: 40, Domains: 6, URLsPerDomain: 4}
+	loadStream(t, w, obj, cfg)
+	// Record the shapes the selector should learn, then refresh.
+	for _, src := range viewShapeQueries {
+		if _, err := w.Query(src); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.EnableViews(views.Config{}); err != nil {
+		t.Fatal(err)
+	}
+	return w, obj
+}
+
+func TestWarehouseViewServing(t *testing.T) {
+	w, _ := openViewWarehouse(t)
+	if n, bytes := w.ViewStats(); n == 0 || bytes <= 0 {
+		t.Fatalf("no views published: count=%d bytes=%d", n, bytes)
+	}
+	before := w.Metrics()
+	if before.ViewBuilds == 0 || before.ViewBytes <= 0 {
+		t.Fatalf("view build counters empty: %+v", before)
+	}
+
+	// Every recorded shape must now be view-served, byte-identical to
+	// the base path (answered with views disabled).
+	viewAnswers := make([]string, len(viewShapeQueries))
+	for i, src := range viewShapeQueries {
+		mo, err := w.Query(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		viewAnswers[i] = mo.DumpCells()
+	}
+	after := w.Metrics().Sub(before)
+	if after.ViewHits != int64(len(viewShapeQueries)) {
+		t.Fatalf("ViewHits = %d, want %d (misses %d)", after.ViewHits, len(viewShapeQueries), after.ViewMisses)
+	}
+	if after.Queries != 0 {
+		t.Fatalf("view-served queries still ran %d base evaluations", after.Queries)
+	}
+
+	w.DisableViews()
+	if n, bytes := w.ViewStats(); n != 0 || bytes != 0 {
+		t.Fatalf("views survived DisableViews: count=%d bytes=%d", n, bytes)
+	}
+	if got := w.Metrics().ViewBytes; got != 0 {
+		t.Fatalf("ViewBytes = %d after DisableViews", got)
+	}
+	for i, src := range viewShapeQueries {
+		mo, err := w.Query(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mo.DumpCells() != viewAnswers[i] {
+			t.Errorf("query %q: view answer differs from base path:\nview:\n%s\nbase:\n%s",
+				src, viewAnswers[i], mo.DumpCells())
+		}
+	}
+}
+
+func TestViewsInvalidatedByMutationAndClock(t *testing.T) {
+	w, obj := openViewWarehouse(t)
+	src := viewShapeQueries[0]
+
+	assertServed := func(want bool, when string) {
+		t.Helper()
+		before := w.Metrics()
+		if _, err := w.Query(src); err != nil {
+			t.Fatal(err)
+		}
+		d := w.Metrics().Sub(before)
+		if want && d.ViewHits != 1 {
+			t.Fatalf("%s: not view-served (hits=%d misses=%d)", when, d.ViewHits, d.ViewMisses)
+		}
+		if !want && d.ViewHits != 0 {
+			t.Fatalf("%s: unexpectedly view-served", when)
+		}
+	}
+	assertServed(true, "after enable")
+
+	// A single-fact load invalidates: the published snapshot carries no
+	// views until the next sync-carrying commit rebuilds them.
+	c := workload.Click{Day: w.Now(), URL: "http://www.site0.com/page/0", Dwell: 5, Delivery: 1, SizeKB: 10}
+	refs, meas, err := obj.Row(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Load(refs, meas); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := w.ViewStats(); n != 0 {
+		t.Fatalf("%d views survived a mutating commit", n)
+	}
+	assertServed(false, "after load")
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	assertServed(true, "after sync rebuild")
+
+	// A clock-only advance carries the views but their build clock no
+	// longer matches NOW: stale views are skipped, not served...
+	oldNow := w.Now()
+	if err := w.AdvanceTo(oldNow + 1); err != nil {
+		t.Fatal(err)
+	}
+	if w.Now() != oldNow+1 {
+		t.Skip("advance crossed a sync boundary; clock-only staleness not exercised")
+	}
+	if n, _ := w.ViewStats(); n == 0 {
+		t.Fatal("clock-only advance dropped the views")
+	}
+	assertServed(false, "after clock-only advance")
+	// ...but an explicit query back at their build clock may use them:
+	// the cubes are untouched, so they are exact there.
+	q := subcube.MustParseQuery(src, w.Env())
+	before := w.Metrics()
+	if _, err := w.QueryAt(q, oldNow); err != nil {
+		t.Fatal(err)
+	}
+	if d := w.Metrics().Sub(before); d.ViewHits != 1 {
+		t.Fatalf("QueryAt(build clock) not view-served (hits=%d misses=%d)", d.ViewHits, d.ViewMisses)
+	}
+
+	// A specification update bumps the generation and invalidates.
+	if err := w.RefreshViews(); err != nil {
+		t.Fatal(err)
+	}
+	assertServed(true, "after refresh at new clock")
+	env := w.Env()
+	a3 := spec.MustCompileString("to-year",
+		`aggregate [Time.year, URL.domain_grp] where Time.year <= NOW - 2 years`, env)
+	if err := w.InsertActions(a3); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := w.ViewStats(); n != 0 {
+		t.Fatalf("%d views survived a spec update", n)
+	}
+	assertServed(false, "after spec update")
+}
+
+func TestViewServingAllApproachesFallBack(t *testing.T) {
+	// Non-availability aggregation and predicated queries are never
+	// view-eligible: they fall back to the base path and still agree
+	// with it trivially; here we pin that they are not even counted as
+	// view traffic.
+	w, _ := openViewWarehouse(t)
+	env := w.Env()
+	q := subcube.MustParseQuery(viewShapeQueries[1], env)
+	before := w.Metrics()
+	for _, agg := range []query.AggApproach{query.Strict, query.LUB, query.Disaggregated} {
+		qa := q
+		qa.Agg = agg
+		if _, err := w.QueryAt(qa, w.Now()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pq := subcube.MustParseQuery(
+		`aggregate [Time.quarter, URL.domain] where URL.domain_grp = ".com"`, env)
+	if _, err := w.QueryAt(pq, w.Now()); err != nil {
+		t.Fatal(err)
+	}
+	d := w.Metrics().Sub(before)
+	if d.ViewHits != 0 || d.ViewMisses != 0 {
+		t.Fatalf("ineligible queries touched view counters: hits=%d misses=%d", d.ViewHits, d.ViewMisses)
+	}
+	if d.Queries != 4 {
+		t.Fatalf("base path ran %d evaluations, want 4", d.Queries)
+	}
+}

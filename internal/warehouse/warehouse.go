@@ -21,6 +21,7 @@ import (
 	"dimred/internal/spec"
 	"dimred/internal/storage"
 	"dimred/internal/subcube"
+	"dimred/internal/views"
 )
 
 // Warehouse combines a reduction specification, its subcube realization
@@ -57,6 +58,10 @@ type Warehouse struct {
 	// one batch behind the published rows; Stats and Metrics pin a
 	// snapshot, so the skew is monitoring-only.
 	loaded atomic.Int64
+	// shapes accumulates view-eligible query shapes from the lock-free
+	// read path (one sync.Map probe plus an atomic add per query); the
+	// greedy view selector reads the trace on each refresh.
+	shapes obs.ShapeStats
 
 	// wmu serializes writers and guards the fields below.
 	wmu sync.Mutex
@@ -64,6 +69,11 @@ type Warehouse struct {
 	working *subcube.CubeSet
 	sched   *sched.Scheduler
 	seq     int64 // snapshot sequence, surfaced as SnapshotEpoch
+	// viewsOn enables materialized rollup views; vcfg bounds them.
+	// Both only steer what sync-carrying commits build — the read path
+	// learns about views exclusively through the published snapshot.
+	viewsOn bool
+	vcfg    views.Config
 }
 
 // snapshot is one published read state: a cube-set side and the clock
@@ -78,6 +88,13 @@ type snapshot struct {
 	now   caltime.Day
 	side  uint32 // epoch side the cube set pins on
 	seq   int64
+	// views is the materialized rollup-view set frozen into this
+	// snapshot, nil when none are published. gen is the cube set's
+	// specification generation at publish; a view set whose recorded
+	// generation (or build clock) disagrees is stale and is skipped,
+	// never served.
+	views *views.Set
+	gen   uint64
 }
 
 // Open creates a warehouse for the given environment and initial action
@@ -100,7 +117,7 @@ func Open(env *spec.Env, actions ...*spec.Action) (*Warehouse, error) {
 		sched:   sched.New(sp),
 	}
 	w.working = cs.Clone()
-	w.cur.Store(&snapshot{cubes: cs, side: 0, seq: 0})
+	w.cur.Store(&snapshot{cubes: cs, side: 0, seq: 0, gen: cs.Spec().Generation()})
 	return w, nil
 }
 
@@ -122,7 +139,20 @@ func (w *Warehouse) pin() (*snapshot, *obs.Pin) {
 }
 
 // commitLocked runs one deterministic mutation through the left-right
-// protocol: apply to the working side, publish it, drain readers off
+// protocol. Plain mutating commits publish without views: any views
+// the previous snapshot held are invalidated by dropping them from the
+// new one (the mutation may have changed the facts or the
+// specification generation they summarize), and the next sync-carrying
+// commit rebuilds them.
+func (w *Warehouse) commitLocked(op func(cs *subcube.CubeSet) error) error {
+	return w.commitWithViewsLocked(op, false)
+}
+
+// commitWithViewsLocked runs one deterministic mutation through the
+// left-right protocol: apply to the working side, optionally
+// materialize the selected rollup views from the post-op working side
+// (so the published snapshot and its views are one atomic unit —
+// readers never observe a half-built view), publish, drain readers off
 // the retired side, replay on the retired side (with instrumentation
 // redirected to the discard metric set, so the operation is counted
 // once), and adopt the retired side as the next working side. An error
@@ -131,12 +161,16 @@ func (w *Warehouse) pin() (*snapshot, *obs.Pin) {
 // invariant.
 //
 //dimred:replay the retired side is drained of readers before the replay writes; this is the left-right protocol's sanctioned second application
-func (w *Warehouse) commitLocked(op func(cs *subcube.CubeSet) error) error {
+func (w *Warehouse) commitWithViewsLocked(op func(cs *subcube.CubeSet) error, refresh bool) error {
 	if err := op(w.working); err != nil {
 		w.rebuildWorkingLocked()
 		return err
 	}
-	retired := w.publishWorkingLocked()
+	var vs *views.Set
+	if refresh && w.viewsOn {
+		vs = w.buildViewsLocked()
+	}
+	retired := w.publishWorkingLocked(vs)
 	rcs := retired.cubes
 	//dimred:allow snapalias the retired side is drained of readers before replay; the metrics redirect is the replay protocol
 	rcs.SetMetrics(w.discard)
@@ -156,15 +190,24 @@ func (w *Warehouse) commitLocked(op func(cs *subcube.CubeSet) error) error {
 }
 
 // publishWorkingLocked swaps the working side in as the published
-// snapshot and waits for readers pinned to the previously published
-// side to drain. It returns the retired snapshot, whose cube set the
-// caller now owns exclusively.
-func (w *Warehouse) publishWorkingLocked() *snapshot {
+// snapshot — together with the view set vs materialized from it (nil
+// invalidates any previously published views) — and waits for readers
+// pinned to the previously published side to drain. It returns the
+// retired snapshot, whose cube set the caller now owns exclusively.
+func (w *Warehouse) publishWorkingLocked(vs *views.Set) *snapshot {
 	old := w.cur.Load()
 	w.seq++
-	w.cur.Store(&snapshot{cubes: w.working, now: w.sched.Now(), side: 1 - old.side, seq: w.seq})
+	w.cur.Store(&snapshot{
+		cubes: w.working,
+		now:   w.sched.Now(),
+		side:  1 - old.side,
+		seq:   w.seq,
+		views: vs,
+		gen:   w.working.Spec().Generation(),
+	})
 	w.met.SnapshotPublishes.Inc()
 	w.met.SnapshotEpoch.Set(w.seq)
+	w.met.ViewBytes.Set(vs.Bytes())
 	w.met.SnapshotsRetained.Set(1)
 	if w.epoch.Drain(old.side) {
 		w.met.SnapshotDrainWaits.Inc()
@@ -176,10 +219,22 @@ func (w *Warehouse) publishWorkingLocked() *snapshot {
 // publishClockLocked republishes the current cube set with an updated
 // clock: clock-only advances change what queries evaluate NOW to, but
 // mutate no cube, so the snapshot keeps its side and nothing drains.
+// Views carry over unchanged — their build clock now disagrees with the
+// snapshot clock, so the freshness rule skips them until the next
+// sync-carrying commit rebuilds them at the new NOW (an explicit
+// QueryAt back at their build clock may still use them: the cubes are
+// untouched, so they are exact there).
 func (w *Warehouse) publishClockLocked() {
 	old := w.cur.Load()
 	w.seq++
-	w.cur.Store(&snapshot{cubes: old.cubes, now: w.sched.Now(), side: old.side, seq: w.seq})
+	w.cur.Store(&snapshot{
+		cubes: old.cubes,
+		now:   w.sched.Now(),
+		side:  old.side,
+		seq:   w.seq,
+		views: old.views,
+		gen:   old.gen,
+	})
 	w.met.SnapshotPublishes.Inc()
 	w.met.SnapshotEpoch.Set(w.seq)
 }
@@ -189,6 +244,30 @@ func (w *Warehouse) publishClockLocked() {
 // have left it) diverged.
 func (w *Warehouse) rebuildWorkingLocked() {
 	w.working = w.cur.Load().cubes.Clone()
+}
+
+// buildViewsLocked selects rollup granularities from the observed
+// query-shape trace (greedy benefit per byte under the configured
+// budget) and materializes them from the post-op working side, before
+// it is published. The working side's instrumentation is redirected to
+// the discard set for the duration: a view build scans cubes with the
+// same machinery as a user query and must not inflate the query
+// counters, while ViewBuilds and ViewBytes land on the real set. A
+// build problem yields a nil set (queries fall back to the base
+// subcubes), never a failed commit.
+func (w *Warehouse) buildViewsLocked() *views.Set {
+	layout := storage.Layout{DimCols: w.env.Schema.NumDims(), MeasCols: len(w.env.Schema.Measures)}
+	cands := views.Candidates(w.env, w.shapes.Counts(), int64(w.working.TotalRows()), layout)
+	picked := views.Select(cands, w.vcfg)
+	if len(picked) == 0 {
+		return nil
+	}
+	//dimred:allow snapalias the working side is off the published read path under wmu; the metrics redirect keeps view builds out of the query counters
+	w.working.SetMetrics(w.discard)
+	set := views.Build(w.env, w.working, picked, w.sched.Now(), w.vcfg, w.met)
+	//dimred:allow snapalias the working side is off the published read path under wmu; this restores the real metric set after the build
+	w.working.SetMetrics(w.met)
+	return set
 }
 
 // syncLocked runs one timed synchronization round through the
@@ -204,7 +283,10 @@ func (w *Warehouse) syncWithLocked(prep func(cs *subcube.CubeSet) error) error {
 	start := clk.Now()
 	t := w.sched.Now()
 	var moved int
-	err := w.commitLocked(func(cs *subcube.CubeSet) error {
+	// Sync-carrying commits are where views refresh: the cube set is
+	// synchronized at the commit's clock, so the materialized rollups
+	// and the published snapshot agree on NOW and spec generation.
+	err := w.commitWithViewsLocked(func(cs *subcube.CubeSet) error {
 		if prep != nil {
 			if err := prep(cs); err != nil {
 				return err
@@ -213,7 +295,7 @@ func (w *Warehouse) syncWithLocked(prep func(cs *subcube.CubeSet) error) error {
 		m, err := cs.Sync(t)
 		moved = m
 		return err
-	})
+	}, true)
 	if err != nil {
 		return err
 	}
@@ -260,6 +342,54 @@ func (w *Warehouse) Sync() error {
 	w.wmu.Lock()
 	defer w.wmu.Unlock()
 	return w.syncLocked()
+}
+
+// EnableViews turns on the materialized rollup-view lattice under the
+// given budget and refreshes it immediately from the query shapes
+// observed so far. Until queries have recorded shapes there is nothing
+// to select, so a typical sequence is: enable, run (or replay) the
+// workload, and let the next sync — or an explicit RefreshViews —
+// materialize the winners.
+func (w *Warehouse) EnableViews(cfg views.Config) error {
+	w.wmu.Lock()
+	defer w.wmu.Unlock()
+	w.viewsOn = true
+	w.vcfg = cfg
+	return w.commitWithViewsLocked(noopOp, true)
+}
+
+// DisableViews turns the view lattice off and publishes a view-free
+// snapshot; recorded query shapes are kept for a later re-enable.
+func (w *Warehouse) DisableViews() {
+	w.wmu.Lock()
+	defer w.wmu.Unlock()
+	w.viewsOn = false
+	_ = w.commitLocked(noopOp)
+}
+
+// RefreshViews re-selects and rebuilds the materialized views from the
+// current query-shape trace at the current clock. A no-op when views
+// are disabled.
+func (w *Warehouse) RefreshViews() error {
+	w.wmu.Lock()
+	defer w.wmu.Unlock()
+	if !w.viewsOn {
+		return nil
+	}
+	return w.commitWithViewsLocked(noopOp, true)
+}
+
+// noopOp commits nothing: the left-right protocol still publishes a
+// fresh snapshot, which is how view enable/refresh/disable reach
+// readers without a cube mutation.
+func noopOp(*subcube.CubeSet) error { return nil }
+
+// ViewStats reports the published view set: how many views are live
+// and the modeled bytes they retain.
+func (w *Warehouse) ViewStats() (count int, bytes int64) {
+	s, p := w.pin()
+	defer p.Unpin()
+	return s.views.Len(), s.views.Bytes()
 }
 
 // SetInterpreted selects the interpreted evaluation path (true) or the
@@ -344,6 +474,9 @@ func (w *Warehouse) Query(src string) (*mdm.MO, error) {
 	}
 	s, p := w.pin()
 	defer p.Unpin()
+	if mo, ok := w.viewAnswer(s, q, s.now); ok {
+		return mo, nil
+	}
 	return s.cubes.Evaluate(q, s.now)
 }
 
@@ -357,6 +490,9 @@ func (w *Warehouse) QueryWith(src string, sel query.Approach, agg query.AggAppro
 	q.Sel, q.Agg = sel, agg
 	s, p := w.pin()
 	defer p.Unpin()
+	if mo, ok := w.viewAnswer(s, q, s.now); ok {
+		return mo, nil
+	}
 	return s.cubes.Evaluate(q, s.now)
 }
 
@@ -364,7 +500,35 @@ func (w *Warehouse) QueryWith(src string, sel query.Approach, agg query.AggAppro
 func (w *Warehouse) QueryAt(q subcube.Query, t caltime.Day) (*mdm.MO, error) {
 	s, p := w.pin()
 	defer p.Unpin()
+	if mo, ok := w.viewAnswer(s, q, t); ok {
+		return mo, nil
+	}
 	return s.cubes.Evaluate(q, t)
+}
+
+// viewAnswer tries to answer q from the snapshot's materialized views:
+// the smallest view whose granularity rolls up to the target, provided
+// the set was built at exactly clock t under the snapshot's spec
+// generation (a stale view is skipped, not served — the base subcubes
+// answer instead). Every view-eligible query records its shape into
+// the selector's trace, hit or miss; misses are counted only while a
+// view set is published, so a views-off warehouse pays one map probe
+// and nothing else.
+func (w *Warehouse) viewAnswer(s *snapshot, q subcube.Query, t caltime.Day) (*mdm.MO, bool) {
+	if !q.ViewEligible() || len(q.Target) != w.env.Schema.NumDims() {
+		return nil, false
+	}
+	w.shapes.Record(spec.EncodeGran(q.Target))
+	if s.views == nil {
+		return nil, false
+	}
+	mo, ok := s.views.Answer(w.env.Schema, q, t, s.gen)
+	if !ok {
+		w.met.ViewMisses.Inc()
+		return nil, false
+	}
+	w.met.ViewHits.Inc()
+	return mo, true
 }
 
 // QueryTraced evaluates a query like Query and additionally returns an

@@ -1,0 +1,43 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// QueryMixConfig parameterizes the Zipf-skewed query-shape generator:
+// real OLAP workloads ask a few Group_high levels over and over (the
+// dashboard queries) with a long tail of ad-hoc shapes, which is
+// exactly the regime where a greedy benefit-per-byte view selector
+// wins. Shape index 0 is the most popular.
+type QueryMixConfig struct {
+	Seed   int64
+	Shapes int     // catalog size; indices are drawn from [0, Shapes)
+	ZipfS  float64 // Zipf skew (> 1); default 1.5
+}
+
+func (c QueryMixConfig) withDefaults() QueryMixConfig {
+	if c.ZipfS <= 1 {
+		c.ZipfS = 1.5
+	}
+	return c
+}
+
+// SkewedShapes draws n query-shape indices from the Zipf distribution
+// over the catalog, deterministically under the seed. The caller maps
+// each index to a Group_high level (a parsed query) and replays the
+// sequence against the warehouse, both to feed the view selector's
+// shape trace and to benchmark view-served against base-path serving.
+func SkewedShapes(cfg QueryMixConfig, n int) ([]int, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Shapes <= 0 {
+		return nil, fmt.Errorf("workload: SkewedShapes: catalog size %d", cfg.Shapes)
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	z := rand.NewZipf(r, cfg.ZipfS, 1, uint64(cfg.Shapes-1))
+	out := make([]int, n)
+	for i := range out {
+		out[i] = int(z.Uint64())
+	}
+	return out, nil
+}

@@ -1,0 +1,62 @@
+package workload
+
+import "testing"
+
+func TestSkewedShapesDeterministicAndInRange(t *testing.T) {
+	cfg := QueryMixConfig{Seed: 7, Shapes: 6}
+	a, err := SkewedShapes(cfg, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SkewedShapes(cfg, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("not deterministic at %d: %d vs %d", i, a[i], b[i])
+		}
+		if a[i] < 0 || a[i] >= cfg.Shapes {
+			t.Fatalf("shape %d out of range at %d", a[i], i)
+		}
+	}
+	if c, err := SkewedShapes(QueryMixConfig{Seed: 8, Shapes: 6}, 5000); err != nil || c[0] == a[0] && c[1] == a[1] && c[2] == a[2] && c[3] == a[3] && c[4] == a[4] && c[5] == a[5] {
+		t.Fatalf("different seeds produced the same prefix (err=%v)", err)
+	}
+}
+
+func TestSkewedShapesDistribution(t *testing.T) {
+	const n = 20000
+	cfg := QueryMixConfig{Seed: 42, Shapes: 6}
+	shapes, err := SkewedShapes(cfg, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, cfg.Shapes)
+	for _, s := range shapes {
+		counts[s]++
+	}
+	for i, c := range counts {
+		if c == 0 {
+			t.Errorf("shape %d never drawn in %d samples", i, n)
+		}
+	}
+	// Zipf skew: the head shape dominates and frequencies fall with
+	// rank. Adjacent ranks can jitter at this sample size; head versus
+	// mid versus tail must not.
+	if counts[0] < 2*counts[2] {
+		t.Errorf("head shape not dominant: counts=%v", counts)
+	}
+	if counts[2] < counts[5] {
+		t.Errorf("mid rank rarer than tail: counts=%v", counts)
+	}
+	if counts[0] < n/3 {
+		t.Errorf("head shape has %d of %d samples; want a heavy head, counts=%v", counts[0], n, counts)
+	}
+}
+
+func TestSkewedShapesRejectsEmptyCatalog(t *testing.T) {
+	if _, err := SkewedShapes(QueryMixConfig{Seed: 1}, 10); err == nil {
+		t.Fatal("empty catalog accepted")
+	}
+}

@@ -80,9 +80,24 @@ func TestMetricsFacade(t *testing.T) {
 	if m.Queries != 1 || m.QueryDuration.Count != 1 {
 		t.Errorf("query metrics wrong: queries=%d latency n=%d", m.Queries, m.QueryDuration.Count)
 	}
-	for _, want := range []string{"facts loaded", "rows folded", "query latency", "fact bytes"} {
+	for _, want := range []string{"facts loaded", "rows folded", "query latency", "fact bytes",
+		"view hits", "view misses", "view builds", "view bytes"} {
 		if !strings.Contains(m.String(), want) {
 			t.Errorf("Metrics rendering missing %q", want)
 		}
+	}
+
+	// The rollup-view counters exist and stay zero until views are
+	// enabled: base-path queries are not view traffic.
+	if m.ViewHits != 0 || m.ViewMisses != 0 || m.ViewBuilds != 0 || m.ViewBytes != 0 {
+		t.Errorf("view counters nonzero before EnableViews: hits=%d misses=%d builds=%d bytes=%d",
+			m.ViewHits, m.ViewMisses, m.ViewBuilds, m.ViewBytes)
+	}
+	if err := w.EnableViews(dimred.ViewConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	w.DisableViews()
+	if got := w.Metrics().ViewBytes; got != 0 {
+		t.Errorf("ViewBytes = %d after DisableViews", got)
 	}
 }
