@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"testing"
+	"time"
 
 	"dimred/internal/caltime"
 	"dimred/internal/core"
@@ -50,10 +51,11 @@ type cacheStats struct {
 // BENCH_pr4.json predates the wrapper and is a bare row array;
 // loadBenchReport reads both.
 type benchReport struct {
-	Rows  []benchRow  `json:"rows"`
-	Cache *cacheStats `json:"cache,omitempty"`
-	Env   *benchEnv   `json:"env,omitempty"`
-	Views *viewStats  `json:"views,omitempty"`
+	Rows   []benchRow   `json:"rows"`
+	Cache  *cacheStats  `json:"cache,omitempty"`
+	Env    *benchEnv    `json:"env,omitempty"`
+	Views  *viewStats   `json:"views,omitempty"`
+	Ingest *ingestStats `json:"ingest,omitempty"`
 }
 
 // benchEnv records the parallelism the artifact was measured under.
@@ -178,7 +180,13 @@ func runBenchSuite(outPath string) error {
 	}
 	rows = append(rows, viewRows...)
 
-	out, err := json.MarshalIndent(benchReport{Rows: rows, Cache: cache, Views: viewSt}, "", "  ")
+	ingestRows, ingestSt, err := runIngestBench()
+	if err != nil {
+		return err
+	}
+	rows = append(rows, ingestRows...)
+
+	out, err := json.MarshalIndent(benchReport{Rows: rows, Cache: cache, Views: viewSt, Ingest: ingestSt}, "", "  ")
 	if err != nil {
 		return err
 	}
@@ -199,6 +207,9 @@ func runBenchSuite(outPath string) error {
 		cache.RouterCacheHits, cache.BitsetBytes)
 	fmt.Printf("views-on QueryViews run: %d hits, %d misses, %d builds, %d/%d bytes of budget\n",
 		viewSt.Hits, viewSt.Misses, viewSt.Builds, viewSt.Bytes, viewSt.BudgetBytes)
+	fmt.Printf("delta Ingest run: %d queued, %d compacted (%d late) in %d compactions; reader p99 locked %s vs delta %s\n",
+		ingestSt.Queued, ingestSt.Compacted, ingestSt.Late, ingestSt.Compactions,
+		time.Duration(ingestSt.LockedP99Ns), time.Duration(ingestSt.DeltaP99Ns))
 	fmt.Printf("wrote %s\n", outPath)
 	return nil
 }

@@ -44,6 +44,19 @@ func TestSpeedups(t *testing.T) {
 		}
 	})
 
+	t.Run("Ingest pairs locked with delta", func(t *testing.T) {
+		s, err := speedups([]benchRow{
+			{Op: "Ingest", Path: "locked", NsPerOp: 900},
+			{Op: "Ingest", Path: "delta", NsPerOp: 300},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := s["Ingest"]; got != 3 {
+			t.Errorf("Ingest speedup = %v, want 3", got)
+		}
+	})
+
 	t.Run("neither pair path is skipped", func(t *testing.T) {
 		s, err := speedups([]benchRow{
 			{Op: "Sync", Path: "somethingelse", NsPerOp: 100},
@@ -126,5 +139,41 @@ func TestCheckViewStats(t *testing.T) {
 	}
 	if benchDiffAbsFloors["QueryViews"] < 1.5 {
 		t.Errorf("QueryViews absolute floor = %v, want >= 1.5", benchDiffAbsFloors["QueryViews"])
+	}
+}
+
+// TestCheckIngestStats pins the Ingest citation gate: the 2x absolute
+// floor only means anything if the delta run really folded its whole
+// queue — late facts included — while readers were being served.
+func TestCheckIngestStats(t *testing.T) {
+	good := ingestStats{Queued: 2250, Compacted: 2250, Late: 1400, Compactions: 30,
+		Readers: 2, LockedReads: 500, DeltaReads: 800, LockedP99Ns: 9000, DeltaP99Ns: 7000}
+	if err := checkIngestStats(&good); err != nil {
+		t.Errorf("healthy citation rejected: %v", err)
+	}
+	cases := map[string]ingestStats{
+		"dropped work":   {Queued: 100, Compacted: 90, Late: 10, Compactions: 5, LockedReads: 1, DeltaReads: 1},
+		"nothing queued": {Queued: 0, Compacted: 0, Late: 0, Compactions: 0, LockedReads: 1, DeltaReads: 1},
+		"no late facts":  {Queued: 100, Compacted: 100, Late: 0, Compactions: 5, LockedReads: 1, DeltaReads: 1},
+		"no compactions": {Queued: 100, Compacted: 100, Late: 10, Compactions: 0, LockedReads: 1, DeltaReads: 1},
+		"idle readers":   {Queued: 100, Compacted: 100, Late: 10, Compactions: 5, LockedReads: 0, DeltaReads: 1},
+	}
+	for name, st := range cases {
+		st := st
+		if err := checkIngestStats(&st); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	if err := checkIngestStats(nil); err == nil {
+		t.Error("missing citation accepted")
+	}
+	if base, improved := pathPair("Ingest"); base != "locked" || improved != "delta" {
+		t.Errorf("pathPair(Ingest) = %q, %q", base, improved)
+	}
+	if benchDiffAbsFloors["Ingest"] < 2.0 {
+		t.Errorf("Ingest absolute floor = %v, want >= 2.0", benchDiffAbsFloors["Ingest"])
+	}
+	if !benchDiffAbsOnlyOps["Ingest"] {
+		t.Error("Ingest is not absolute-floor-only gated; the locked/delta ratio is not host-portable")
 	}
 }

@@ -27,6 +27,7 @@ import (
 	"dimred/internal/caltime"
 	"dimred/internal/core"
 	"dimred/internal/dims"
+	"dimred/internal/ingest"
 	"dimred/internal/mdm"
 	"dimred/internal/obs"
 	"dimred/internal/query"
@@ -276,6 +277,15 @@ type (
 	// invalidated, never served stale, across loads, clock advances and
 	// specification updates.
 	ViewConfig = views.Config
+	// IngestConfig tunes the streaming-ingest delta buffer
+	// (Warehouse.StartIngest): Shards is the append-buffer shard count,
+	// MinBatch the compactor's group-commit threshold; the zero value
+	// applies the package defaults. Ingested facts are absorbed without
+	// blocking the served snapshot and folded into the subcube DAG by a
+	// background compactor; a fact arriving after its region was reduced
+	// lands at its cell's granularity immediately, exactly as if it had
+	// been present for the original reduction.
+	IngestConfig = ingest.Config
 )
 
 // NewCubeSet builds the subcube layout for a specification.

@@ -1,0 +1,63 @@
+package dimred_test
+
+import (
+	"testing"
+
+	"dimred"
+)
+
+// TestIngestFacade runs the streaming-ingest surface end to end through
+// the public API: StartIngest with an IngestConfig, concurrent-safe
+// Ingest, and StopIngest folding everything into queryable state.
+func TestIngestFacade(t *testing.T) {
+	paper, err := dimred.PaperMO()
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := dimred.NewEnv(paper.Schema, "Time", paper.Time)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := dimred.CompileAction("m",
+		`aggregate [Time.month, URL.domain] where Time.month <= NOW - 2 months`, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := dimred.Open(env, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AdvanceTo(dimred.Date(2000, 6, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.StartIngest(dimred.IngestConfig{Shards: 2, MinBatch: 1}); err != nil {
+		t.Fatal(err)
+	}
+	const n = 40
+	for i := 0; i < n; i++ {
+		dv := paper.Time.EnsureDay(dimred.Date(2000, 1, 1) + dimred.Day(i))
+		uv := paper.URL.MustEnsureURL("http://www.alpha.com/index")
+		if err := w.Ingest([]dimred.ValueID{dv, uv}, []float64{1, 2, 3, 4}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.StopIngest(); err != nil {
+		t.Fatal(err)
+	}
+	m := w.Metrics()
+	if m.IngestQueued != n || m.IngestCompacted != n || m.IngestPending != 0 {
+		t.Fatalf("ingest counters: queued=%d compacted=%d pending=%d, want %d/%d/0",
+			m.IngestQueued, m.IngestCompacted, m.IngestPending, n, n)
+	}
+	// Every ingested day is inside the already-reduced region at NOW.
+	if m.IngestLate != n {
+		t.Fatalf("IngestLate = %d, want %d", m.IngestLate, n)
+	}
+	res, err := w.Query(`aggregate [Time.TOP, URL.TOP]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Measure(0, 0); got < n {
+		t.Fatalf("grand count = %v, want >= %d", got, n)
+	}
+}

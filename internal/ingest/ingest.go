@@ -1,0 +1,217 @@
+// Package ingest provides the streaming side of the warehouse: sharded
+// append-only delta buffers that absorb out-of-order fact arrivals
+// without touching the served snapshot, and a background compactor that
+// periodically drains the buffered deltas and folds them into the
+// subcube DAG through the warehouse's sync-carrying commit path.
+//
+// The package is deliberately ignorant of warehouse semantics: a Row is
+// an opaque (refs, meas) pair, and the fold callback owns validation,
+// late-arrival classification and the actual commit. That keeps the
+// buffer lock-order trivial — shard mutexes here are always leaves,
+// never held across the fold — and keeps evaluation time out of the
+// package entirely (it is on the wallclock/nowflow restricted lists).
+package ingest
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"dimred/internal/mdm"
+)
+
+// Row is one buffered fact: bottom-granularity dimension references and
+// the measure vector. Append deep-copies both slices, so a Row never
+// aliases caller memory.
+type Row struct {
+	Refs []mdm.ValueID
+	Meas []float64
+}
+
+// Config bounds a Buffer/Compactor pair.
+type Config struct {
+	// Shards is the number of independent append shards; more shards
+	// mean less contention between concurrent producers. Zero or
+	// negative selects the default.
+	Shards int
+	// MinBatch is the minimum number of buffered facts before the
+	// compactor folds (the final fold on Stop drains regardless). Zero
+	// or negative selects the default of 1 — fold as soon as anything
+	// is buffered; the fold itself group-commits whatever accumulated
+	// while the previous fold held the writer lock.
+	MinBatch int
+}
+
+// DefaultShards is the shard count used when Config.Shards is unset.
+const DefaultShards = 8
+
+// WithDefaults returns cfg with unset fields replaced by defaults.
+func (cfg Config) WithDefaults() Config {
+	if cfg.Shards <= 0 {
+		cfg.Shards = DefaultShards
+	}
+	if cfg.MinBatch <= 0 {
+		cfg.MinBatch = 1
+	}
+	return cfg
+}
+
+// shard is one append lane. rows is guarded by mu.
+type shard struct {
+	mu   sync.Mutex
+	rows []Row
+}
+
+// Buffer is a sharded append-only delta buffer. Appends pick a shard
+// round-robin and hold only that shard's mutex; Drain swaps every
+// shard's slice out under its lock and concatenates, so producers are
+// never blocked behind a fold. The doorbell wakes the compactor without
+// ever blocking an appender.
+type Buffer struct {
+	shards   []*shard
+	next     atomic.Uint64
+	pending  atomic.Int64
+	doorbell chan struct{}
+}
+
+// NewBuffer creates a buffer with the given shard count (<=0 selects
+// DefaultShards).
+func NewBuffer(shards int) *Buffer {
+	if shards <= 0 {
+		shards = DefaultShards
+	}
+	b := &Buffer{
+		shards:   make([]*shard, shards),
+		doorbell: make(chan struct{}, 1),
+	}
+	for i := range b.shards {
+		b.shards[i] = &shard{}
+	}
+	return b
+}
+
+// Append buffers one fact. The refs and meas slices are copied, so the
+// caller may reuse them. Safe for any number of concurrent producers.
+func (b *Buffer) Append(refs []mdm.ValueID, meas []float64) {
+	r := Row{
+		Refs: append([]mdm.ValueID(nil), refs...),
+		Meas: append([]float64(nil), meas...),
+	}
+	s := b.shards[b.next.Add(1)%uint64(len(b.shards))]
+	s.mu.Lock()
+	s.rows = append(s.rows, r)
+	s.mu.Unlock()
+	b.pending.Add(1)
+	b.ring()
+}
+
+// ring wakes the compactor if it is idle; a full doorbell means a wake
+// is already queued, so the append never blocks.
+func (b *Buffer) ring() {
+	select {
+	case b.doorbell <- struct{}{}:
+	default:
+	}
+}
+
+// Drain atomically swaps out every shard's buffered rows and returns
+// them in shard order. Rows appended concurrently with a Drain land in
+// either this batch or the next, never in both and never lost.
+func (b *Buffer) Drain() []Row {
+	var out []Row
+	for _, s := range b.shards {
+		s.mu.Lock()
+		rows := s.rows
+		s.rows = nil
+		s.mu.Unlock()
+		out = append(out, rows...)
+	}
+	b.pending.Add(int64(-len(out)))
+	return out
+}
+
+// Pending reports the number of buffered facts not yet drained. It is a
+// monitoring value: concurrent appends and drains may skew it by the
+// rows in flight.
+func (b *Buffer) Pending() int64 { return b.pending.Load() }
+
+// Compactor folds a Buffer's deltas in the background. One goroutine
+// waits on the buffer's doorbell and, once at least MinBatch facts have
+// accumulated, drains the buffer and hands the batch to the fold
+// callback. Folds are strictly sequential, so the callback may take the
+// warehouse writer lock without further coordination; facts that arrive
+// while a fold is running simply accumulate and group-commit in the
+// next round.
+type Compactor struct {
+	buf      *Buffer
+	fold     func([]Row) error
+	minBatch int
+	stop     chan struct{}
+	done     chan struct{}
+
+	// mu guards firstErr, the first fold failure; later batches still
+	// fold (one bad batch must not wedge the stream).
+	mu       sync.Mutex
+	firstErr error
+}
+
+// StartCompactor spawns the background compaction loop over buf. The
+// fold callback receives each drained batch in arrival order (per
+// shard) and is never called concurrently with itself. Call Stop
+// exactly once to drain the final batch and join the goroutine.
+func StartCompactor(buf *Buffer, cfg Config, fold func([]Row) error) *Compactor {
+	cfg = cfg.WithDefaults()
+	c := &Compactor{
+		buf:      buf,
+		fold:     fold,
+		minBatch: cfg.MinBatch,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	//dimred:detached compaction loop runs for the warehouse lifetime; Stop joins it on the done channel before the warehouse closes
+	go c.loop()
+	return c
+}
+
+// loop is the compactor goroutine: wait for the doorbell, fold when
+// enough is buffered, and on stop fold whatever remains before
+// signalling done.
+func (c *Compactor) loop() {
+	defer close(c.done)
+	for {
+		select {
+		case <-c.stop:
+			c.foldNow()
+			return
+		case <-c.buf.doorbell:
+			if c.buf.Pending() >= int64(c.minBatch) {
+				c.foldNow()
+			}
+		}
+	}
+}
+
+// foldNow drains and folds one batch, recording the first failure.
+func (c *Compactor) foldNow() {
+	rows := c.buf.Drain()
+	if len(rows) == 0 {
+		return
+	}
+	if err := c.fold(rows); err != nil {
+		c.mu.Lock()
+		if c.firstErr == nil {
+			c.firstErr = err
+		}
+		c.mu.Unlock()
+	}
+}
+
+// Stop signals the loop, waits for the final fold to finish, and
+// returns the first fold error (nil when every batch folded cleanly).
+// Stop must be called exactly once.
+func (c *Compactor) Stop() error {
+	close(c.stop)
+	<-c.done
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.firstErr
+}

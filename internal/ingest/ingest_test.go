@@ -1,0 +1,192 @@
+package ingest
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"dimred/internal/mdm"
+)
+
+func row(i int) ([]mdm.ValueID, []float64) {
+	return []mdm.ValueID{mdm.ValueID(i), mdm.ValueID(i * 2)}, []float64{float64(i), 1}
+}
+
+func TestBufferAppendDrain(t *testing.T) {
+	b := NewBuffer(4)
+	const n = 100
+	for i := 0; i < n; i++ {
+		refs, meas := row(i)
+		b.Append(refs, meas)
+	}
+	if got := b.Pending(); got != n {
+		t.Fatalf("Pending = %d, want %d", got, n)
+	}
+	rows := b.Drain()
+	if len(rows) != n {
+		t.Fatalf("Drain returned %d rows, want %d", len(rows), n)
+	}
+	if got := b.Pending(); got != 0 {
+		t.Fatalf("Pending after drain = %d, want 0", got)
+	}
+	if again := b.Drain(); len(again) != 0 {
+		t.Fatalf("second Drain returned %d rows, want 0", len(again))
+	}
+	// Every appended row came back exactly once.
+	seen := map[float64]int{}
+	for _, r := range rows {
+		seen[r.Meas[0]]++
+	}
+	for i := 0; i < n; i++ {
+		if seen[float64(i)] != 1 {
+			t.Fatalf("row %d drained %d times", i, seen[float64(i)])
+		}
+	}
+}
+
+func TestBufferCopiesCallerSlices(t *testing.T) {
+	b := NewBuffer(1)
+	refs := []mdm.ValueID{1, 2}
+	meas := []float64{3, 4}
+	b.Append(refs, meas)
+	refs[0], meas[0] = 99, 99
+	rows := b.Drain()
+	if rows[0].Refs[0] != 1 || rows[0].Meas[0] != 3 {
+		t.Fatalf("drained row aliases caller memory: %+v", rows[0])
+	}
+}
+
+func TestBufferConcurrentAppendDrain(t *testing.T) {
+	b := NewBuffer(8)
+	const producers, perProducer = 8, 200
+	var wg sync.WaitGroup
+	var drained []Row
+	var mu sync.Mutex
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			rows := b.Drain()
+			mu.Lock()
+			drained = append(drained, rows...)
+			mu.Unlock()
+			select {
+			case <-stop:
+				return
+			default:
+			}
+		}
+	}()
+	var pwg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		pwg.Add(1)
+		go func(p int) {
+			defer pwg.Done()
+			for i := 0; i < perProducer; i++ {
+				refs, meas := row(p*perProducer + i)
+				b.Append(refs, meas)
+			}
+		}(p)
+	}
+	pwg.Wait()
+	close(stop)
+	wg.Wait()
+	rest := b.Drain()
+	if total := len(drained) + len(rest); total != producers*perProducer {
+		t.Fatalf("drained %d rows total, want %d", total, producers*perProducer)
+	}
+}
+
+func TestCompactorFoldsEverything(t *testing.T) {
+	b := NewBuffer(4)
+	var mu sync.Mutex
+	folded := 0
+	c := StartCompactor(b, Config{MinBatch: 1}, func(rows []Row) error {
+		mu.Lock()
+		folded += len(rows)
+		mu.Unlock()
+		return nil
+	})
+	const n = 500
+	var wg sync.WaitGroup
+	for p := 0; p < 4; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < n/4; i++ {
+				refs, meas := row(p*n/4 + i)
+				b.Append(refs, meas)
+			}
+		}(p)
+	}
+	wg.Wait()
+	if err := c.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	if folded != n {
+		t.Fatalf("folded %d rows, want %d", folded, n)
+	}
+	if b.Pending() != 0 {
+		t.Fatalf("Pending after Stop = %d", b.Pending())
+	}
+}
+
+func TestCompactorMinBatchHoldsUntilStop(t *testing.T) {
+	b := NewBuffer(2)
+	var mu sync.Mutex
+	var batches []int
+	c := StartCompactor(b, Config{MinBatch: 100}, func(rows []Row) error {
+		mu.Lock()
+		batches = append(batches, len(rows))
+		mu.Unlock()
+		return nil
+	})
+	for i := 0; i < 3; i++ {
+		refs, meas := row(i)
+		b.Append(refs, meas)
+	}
+	if err := c.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	// Below MinBatch nothing folds until the final drain on Stop.
+	if len(batches) != 1 || batches[0] != 3 {
+		t.Fatalf("batches = %v, want one final batch of 3", batches)
+	}
+}
+
+func TestCompactorReportsFirstFoldError(t *testing.T) {
+	b := NewBuffer(1)
+	calls := 0
+	done := make(chan struct{}, 4)
+	c := StartCompactor(b, Config{MinBatch: 1}, func(rows []Row) error {
+		calls++
+		done <- struct{}{}
+		if calls == 1 {
+			return fmt.Errorf("poisoned batch %d", calls)
+		}
+		return nil
+	})
+	refs, meas := row(1)
+	b.Append(refs, meas)
+	<-done // first batch folded (and failed)
+	b.Append(refs, meas)
+	<-done // a later batch still folds
+	if err := c.Stop(); err == nil || err.Error() != "poisoned batch 1" {
+		t.Fatalf("Stop error = %v, want the first fold failure", err)
+	}
+	if calls < 2 {
+		t.Fatalf("compactor stopped folding after an error (calls=%d)", calls)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	cfg := Config{}.WithDefaults()
+	if cfg.Shards != DefaultShards || cfg.MinBatch != 1 {
+		t.Fatalf("defaults = %+v", cfg)
+	}
+	cfg = Config{Shards: 3, MinBatch: 7}.WithDefaults()
+	if cfg.Shards != 3 || cfg.MinBatch != 7 {
+		t.Fatalf("explicit config overwritten: %+v", cfg)
+	}
+}

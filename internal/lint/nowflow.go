@@ -17,6 +17,7 @@ var DefaultNowflowRestricted = []string{
 	"internal/sched",
 	"internal/subcube",
 	"internal/views",
+	"internal/ingest",
 }
 
 // NewNowflow builds the nowflow analyzer: a forward taint analysis

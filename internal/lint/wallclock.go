@@ -24,6 +24,7 @@ var DefaultWallclockRestricted = []string{
 	"internal/subcube",
 	"internal/views",
 	"internal/warehouse",
+	"internal/ingest",
 }
 
 // forbiddenTimeFuncs are the time-package entry points that read the

@@ -55,6 +55,13 @@ type Metrics struct {
 	ViewBuilds Counter // views materialized by commit-path refreshes
 	ViewBytes  Gauge   // modeled bytes retained by the published view set
 
+	// Streaming ingest (warehouse delta buffers).
+	IngestQueued       Counter   // facts appended to the delta buffer
+	IngestCompacted    Counter   // buffered facts folded into the subcube DAG
+	IngestLate         Counter   // compacted facts landing inside an already-reduced region
+	IngestPending      Gauge     // facts waiting in the delta buffer, refreshed on snapshot
+	CompactionDuration Histogram // wall time per delta-fold compaction
+
 	// Epoch-snapshot read path (warehouse).
 	SnapshotPublishes  Counter // snapshots published by writers (including clock-only refreshes)
 	SnapshotDrainWaits Counter // publishes that had to wait for pinned readers to drain
@@ -122,14 +129,20 @@ type MetricsSnapshot struct {
 	ViewBuilds int64
 	ViewBytes  int64
 
+	IngestQueued    int64
+	IngestCompacted int64
+	IngestLate      int64
+	IngestPending   int64
+
 	SnapshotPublishes  int64
 	SnapshotDrainWaits int64
 	SnapshotRebuilds   int64
 	SnapshotEpoch      int64
 	SnapshotsRetained  int64
 
-	SyncDuration  HistogramSnapshot
-	QueryDuration HistogramSnapshot
+	SyncDuration       HistogramSnapshot
+	QueryDuration      HistogramSnapshot
+	CompactionDuration HistogramSnapshot
 
 	LiveRows  int64
 	LiveBytes int64
@@ -173,14 +186,20 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		ViewBuilds: m.ViewBuilds.Load(),
 		ViewBytes:  m.ViewBytes.Load(),
 
+		IngestQueued:    m.IngestQueued.Load(),
+		IngestCompacted: m.IngestCompacted.Load(),
+		IngestLate:      m.IngestLate.Load(),
+		IngestPending:   m.IngestPending.Load(),
+
 		SnapshotPublishes:  m.SnapshotPublishes.Load(),
 		SnapshotDrainWaits: m.SnapshotDrainWaits.Load(),
 		SnapshotRebuilds:   m.SnapshotRebuilds.Load(),
 		SnapshotEpoch:      m.SnapshotEpoch.Load(),
 		SnapshotsRetained:  m.SnapshotsRetained.Load(),
 
-		SyncDuration:  m.SyncDuration.Snapshot(),
-		QueryDuration: m.QueryDuration.Snapshot(),
+		SyncDuration:       m.SyncDuration.Snapshot(),
+		QueryDuration:      m.QueryDuration.Snapshot(),
+		CompactionDuration: m.CompactionDuration.Snapshot(),
 
 		LiveRows:  m.LiveRows.Load(),
 		LiveBytes: m.LiveBytes.Load(),
@@ -220,6 +239,9 @@ func (s MetricsSnapshot) Sub(prev MetricsSnapshot) MetricsSnapshot {
 	d.ViewHits -= prev.ViewHits
 	d.ViewMisses -= prev.ViewMisses
 	d.ViewBuilds -= prev.ViewBuilds
+	d.IngestQueued -= prev.IngestQueued
+	d.IngestCompacted -= prev.IngestCompacted
+	d.IngestLate -= prev.IngestLate
 	d.SnapshotPublishes -= prev.SnapshotPublishes
 	d.SnapshotDrainWaits -= prev.SnapshotDrainWaits
 	d.SnapshotRebuilds -= prev.SnapshotRebuilds
@@ -235,6 +257,13 @@ func (s MetricsSnapshot) String() string {
 	row(&b, "batch loads", s.BatchLoads)
 	row(&b, "rows appended", s.RowsAppended)
 	row(&b, "rows merged in place", s.RowsMerged)
+	row(&b, "ingest queued", s.IngestQueued)
+	row(&b, "ingest compacted", s.IngestCompacted)
+	row(&b, "ingest late facts", s.IngestLate)
+	row(&b, "ingest pending", s.IngestPending)
+	padLabel(&b, "compaction latency")
+	b.WriteString(s.CompactionDuration.String())
+	b.WriteByte('\n')
 
 	b.WriteString("synchronization:\n")
 	row(&b, "clock advances", s.Advances)

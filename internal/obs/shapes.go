@@ -24,6 +24,20 @@ func (s *ShapeStats) Record(key string) {
 	c.(*Counter).Inc()
 }
 
+// Add seeds n observations of the shape in one step. Snapshot restore
+// uses it to rebuild a persisted trace without n calls to Record.
+func (s *ShapeStats) Add(key string, n int64) {
+	if n == 0 {
+		return
+	}
+	if c, ok := s.m.Load(key); ok {
+		c.(*Counter).Add(n)
+		return
+	}
+	c, _ := s.m.LoadOrStore(key, &Counter{})
+	c.(*Counter).Add(n)
+}
+
 // Counts copies the current per-shape totals. Concurrent recorders may
 // land between the reads; the copy is consistent enough for view
 // selection, never for accounting.

@@ -10,12 +10,20 @@ import (
 	"dimred/internal/mdm"
 	"dimred/internal/spec"
 	"dimred/internal/subcube"
+	"dimred/internal/views"
 )
 
 // snapshot DTOs: plain exported structs gob-encoded to disk. The format
-// is versioned; Load rejects unknown versions.
-
-const snapshotVersion = 1
+// is versioned; Load rejects unknown versions but accepts every prior
+// one (gob leaves absent fields at their zero values, which for the v2
+// view-state additions means views-off and an empty shape trace —
+// exactly what a v1 snapshot recorded).
+//
+// Version history:
+//
+//	1: dimensions, specification, rows, clock state.
+//	2: + view state (ViewsOn, view budget, query-shape trace).
+const snapshotVersion = 2
 
 type snapValue struct {
 	Cat     int32
@@ -65,21 +73,41 @@ type snapshotFile struct {
 	Now         int64
 	LastSync    int64
 	Synced      bool
+
+	// Since version 2: materialized-view state. The views themselves are
+	// derived data and are rebuilt on load from the restored rows; what
+	// must survive the round-trip is the enablement, the budget, and the
+	// observed query-shape trace the greedy selector feeds on.
+	ViewsOn      bool
+	ViewMaxBytes int64
+	ViewMaxViews int
+	Shapes       map[string]int64
 }
 
 // Save serializes the warehouse — dimensions, specification, subcube
 // rows and clock state — so Load can reconstruct it byte-for-byte
 // equivalent (same value ids, same rows, same specification).
 func (w *Warehouse) Save(out io.Writer) error {
+	// View configuration is writer state, copied under wmu before
+	// pinning — pin-then-lock would deadlock against a publishing writer
+	// draining this reader's pin. The shape trace is lock-free.
+	w.wmu.Lock()
+	viewsOn, vcfg := w.viewsOn, w.vcfg
+	w.wmu.Unlock()
+
 	s, p := w.pin()
 	defer p.Unpin()
 
 	sf := snapshotFile{
-		Version:  snapshotVersion,
-		FactType: w.env.Schema.FactType,
-		Loaded:   w.loaded.Load(),
-		Deleted:  s.cubes.DeletedFacts(),
-		Now:      int64(s.now),
+		Version:      snapshotVersion,
+		FactType:     w.env.Schema.FactType,
+		Loaded:       w.loaded.Load(),
+		Deleted:      s.cubes.DeletedFacts(),
+		Now:          int64(s.now),
+		ViewsOn:      viewsOn,
+		ViewMaxBytes: vcfg.MaxBytes,
+		ViewMaxViews: vcfg.MaxViews,
+		Shapes:       w.shapes.Counts(),
 	}
 	if w.env.TimeDim >= 0 {
 		sf.TimeDimName = w.env.Schema.Dims[w.env.TimeDim].Name()
@@ -168,7 +196,7 @@ func Load(in io.Reader) (*Warehouse, *LoadedDims, error) {
 	if err := gob.NewDecoder(in).Decode(&sf); err != nil {
 		return nil, nil, fmt.Errorf("warehouse: Load: %w", err)
 	}
-	if sf.Version != snapshotVersion {
+	if sf.Version < 1 || sf.Version > snapshotVersion {
 		return nil, nil, fmt.Errorf("warehouse: Load: unsupported snapshot version %d", sf.Version)
 	}
 
@@ -216,10 +244,20 @@ func Load(in io.Reader) (*Warehouse, *LoadedDims, error) {
 	}
 	// Restore rows and clock through the left-right commit so both
 	// cube-set sides converge and the published snapshot carries the
-	// restored clock.
+	// restored clock. View state restores with it: the shape trace seeds
+	// the selector, and a views-on snapshot rebuilds its views from the
+	// restored rows inside the same commit, so the first published
+	// snapshot already serves them.
 	w.wmu.Lock()
 	w.sched.Restore(caltime.Day(sf.Now), sf.Synced)
-	err = w.commitLocked(func(cs *subcube.CubeSet) error {
+	for k, n := range sf.Shapes {
+		w.shapes.Add(k, n)
+	}
+	w.viewsOn = sf.ViewsOn
+	if sf.ViewsOn {
+		w.vcfg = views.Config{MaxBytes: sf.ViewMaxBytes, MaxViews: sf.ViewMaxViews}
+	}
+	err = w.commitWithViewsLocked(func(cs *subcube.CubeSet) error {
 		refs := make([]mdm.ValueID, len(dimensions))
 		for _, r := range sf.Rows {
 			if len(r.Refs) != len(refs) {
@@ -234,7 +272,7 @@ func Load(in io.Reader) (*Warehouse, *LoadedDims, error) {
 		}
 		cs.RestoreSyncState(caltime.Day(sf.LastSync), sf.Synced, sf.Deleted)
 		return nil
-	})
+	}, sf.ViewsOn)
 	w.wmu.Unlock()
 	if err != nil {
 		return nil, nil, err

@@ -114,6 +114,82 @@ func TestSnapshotRoundTrip(t *testing.T) {
 	}
 }
 
+// TestSnapshotRoundTripKeepsViewState pins the bugfix for view state
+// dropped by Save/Load: enablement, budget, and the learned shape trace
+// persist, and the loaded warehouse rebuilds its materialized views so
+// the recorded battery is view-served immediately — no silent fallback
+// to the base path after a restore.
+func TestSnapshotRoundTripKeepsViewState(t *testing.T) {
+	w, _ := openViewWarehouse(t)
+	n1, bytes1 := w.ViewStats()
+	if n1 == 0 {
+		t.Fatal("no views before save")
+	}
+	answers := make([]string, len(viewShapeQueries))
+	for i, src := range viewShapeQueries {
+		mo, err := w.Query(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		answers[i] = mo.DumpCells()
+	}
+
+	var buf bytes.Buffer
+	if err := w.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	w2, _, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	n2, bytes2 := w2.ViewStats()
+	if n2 != n1 || bytes2 != bytes1 {
+		t.Fatalf("views after load: %d views/%d bytes, want %d/%d", n2, bytes2, n1, bytes1)
+	}
+	m := w2.Metrics()
+	if m.ViewBuilds == 0 {
+		t.Fatal("loaded warehouse never rebuilt its views")
+	}
+	before := w2.Metrics()
+	for i, src := range viewShapeQueries {
+		mo, err := w2.Query(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mo.DumpCells() != answers[i] {
+			t.Errorf("query %q differs after restore:\n%s\nvs\n%s", src, mo.DumpCells(), answers[i])
+		}
+	}
+	d := w2.Metrics().Sub(before)
+	if d.ViewHits != int64(len(viewShapeQueries)) {
+		t.Fatalf("restored battery view-served %d/%d (misses %d)", d.ViewHits, len(viewShapeQueries), d.ViewMisses)
+	}
+	if d.Queries != 0 {
+		t.Fatalf("restored battery ran %d base evaluations", d.Queries)
+	}
+}
+
+// TestSnapshotRoundTripViewsDisabled pins the complementary default: a
+// warehouse saved with views off loads with views off.
+func TestSnapshotRoundTripViewsDisabled(t *testing.T) {
+	w, _ := openClickWarehouse(t)
+	var buf bytes.Buffer
+	if err := w.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	w2, _, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, b := w2.ViewStats(); n != 0 || b != 0 {
+		t.Fatalf("views materialized on a views-off snapshot: %d/%d", n, b)
+	}
+	if got := w2.Metrics().ViewBuilds; got != 0 {
+		t.Fatalf("ViewBuilds = %d on a views-off snapshot", got)
+	}
+}
+
 func TestSnapshotLoadErrors(t *testing.T) {
 	if _, _, err := Load(strings.NewReader("not a snapshot")); err == nil {
 		t.Error("garbage accepted")

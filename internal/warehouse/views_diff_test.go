@@ -170,9 +170,35 @@ func TestDifferentialViewsVsBaseVsOracle(t *testing.T) {
 	}
 	compare("with views live")
 
-	// A single-fact load invalidates the views mid-script: the published
-	// snapshot answers from base until the next sync, and must still
-	// agree everywhere.
+	// An on-time single-fact load invalidates the views mid-script: the
+	// published snapshot answers from base until the next sync, and must
+	// still agree everywhere. (A late fact would not exercise this path:
+	// it folds at Cell(f, t) with a sync-carrying commit, which rebuilds
+	// the views in the same publication.)
+	onTimeRefs, onTimeMeas, err := obj.Row(workload.Click{
+		Day: wOn.Now(), URL: "http://www.site0.com/page/0",
+		Dwell: 2, Delivery: 3, SizeKB: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wOn.Load(onTimeRefs, onTimeMeas); err != nil {
+		t.Fatal(err)
+	}
+	if err := wOff.Load(onTimeRefs, onTimeMeas); err != nil {
+		t.Fatal(err)
+	}
+	if err := oracle.Insert(onTimeRefs, onTimeMeas); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := wOn.ViewStats(); n != 0 {
+		t.Fatalf("%d views survived a mutating commit", n)
+	}
+	compare("unsynced single-fact load")
+
+	// And a late single-fact load — refs[80]'s day is deep inside the
+	// reduced region at this clock — folds immediately and must agree on
+	// all three paths with the views rebuilt by its carried sync.
 	if err := wOn.Load(refs[80], meas[80]); err != nil {
 		t.Fatal(err)
 	}
@@ -182,10 +208,11 @@ func TestDifferentialViewsVsBaseVsOracle(t *testing.T) {
 	if err := oracle.Insert(refs[80], meas[80]); err != nil {
 		t.Fatal(err)
 	}
-	if n, _ := wOn.ViewStats(); n != 0 {
-		t.Fatalf("%d views survived a mutating commit", n)
+	mirrorSync()
+	if n, _ := wOn.ViewStats(); n == 0 {
+		t.Fatal("late single-fact load's carried sync did not rebuild the views")
 	}
-	compare("unsynced single-fact load")
+	compare("late single-fact load")
 	loadBoth(81, 160)
 
 	// Spec churn bumps the generation on both warehouses and the oracle.

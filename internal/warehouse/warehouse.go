@@ -13,6 +13,7 @@ import (
 	"sync/atomic"
 
 	"dimred/internal/caltime"
+	"dimred/internal/ingest"
 	"dimred/internal/mdm"
 	"dimred/internal/obs"
 	"dimred/internal/query"
@@ -62,6 +63,11 @@ type Warehouse struct {
 	// read path (one sync.Map probe plus an atomic add per query); the
 	// greedy view selector reads the trace on each refresh.
 	shapes obs.ShapeStats
+	// buf is the streaming-ingest delta buffer, created once at Open and
+	// never replaced: Ingest appends to it without any warehouse lock,
+	// and compaction drains it before taking wmu (shard mutexes are
+	// leaves in the lock order).
+	buf *ingest.Buffer
 
 	// wmu serializes writers and guards the fields below.
 	wmu sync.Mutex
@@ -74,6 +80,9 @@ type Warehouse struct {
 	// learns about views exclusively through the published snapshot.
 	viewsOn bool
 	vcfg    views.Config
+	// comp is the running background compactor, nil when streaming
+	// ingest is stopped.
+	comp *ingest.Compactor
 }
 
 // snapshot is one published read state: a cube-set side and the clock
@@ -115,6 +124,7 @@ func Open(env *spec.Env, actions ...*spec.Action) (*Warehouse, error) {
 		discard: obs.NewMetrics(),
 		epoch:   obs.NewEpoch(),
 		sched:   sched.New(sp),
+		buf:     ingest.NewBuffer(ingest.DefaultShards),
 	}
 	w.working = cs.Clone()
 	w.cur.Store(&snapshot{cubes: cs, side: 0, seq: 0, gen: cs.Spec().Generation()})
@@ -406,13 +416,25 @@ func (w *Warehouse) SetInterpreted(v bool) {
 	})
 }
 
-// Load ingests one bottom-granularity fact.
+// Load ingests one bottom-granularity fact. A fact whose day is
+// already inside a reduced region — the specification aggregates (or
+// deletes) its cell as of the last synchronization — is late: leaving
+// it at the bottom until the next scheduled sync would let queries
+// observe it at a granularity the Growing invariant says no longer
+// exists there, so the commit carries a synchronization and the fact
+// lands at Cell(f, t)'s granularity immediately, merged distributively.
 func (w *Warehouse) Load(refs []mdm.ValueID, meas []float64) error {
 	w.wmu.Lock()
 	defer w.wmu.Unlock()
-	err := w.commitLocked(func(cs *subcube.CubeSet) error {
+	op := func(cs *subcube.CubeSet) error {
 		return cs.Insert(refs, meas)
-	})
+	}
+	var err error
+	if w.lateLocked(refs) {
+		err = w.syncWithLocked(op)
+	} else {
+		err = w.commitLocked(op)
+	}
 	if err != nil {
 		return err
 	}
@@ -429,7 +451,6 @@ func (w *Warehouse) Load(refs []mdm.ValueID, meas []float64) error {
 func (w *Warehouse) LoadBatch(rows func(load func(refs []mdm.ValueID, meas []float64) error) error) error {
 	w.wmu.Lock()
 	defer w.wmu.Unlock()
-	w.met.BatchLoads.Inc()
 	// Buffer the callback's rows: the commit applies the batch to both
 	// sides, and user code must not be re-entered (or observe a
 	// half-applied side) on the replay.
@@ -448,6 +469,13 @@ func (w *Warehouse) LoadBatch(rows func(load func(refs []mdm.ValueID, meas []flo
 	if err != nil {
 		return err
 	}
+	// An empty batch publishes nothing: no sync, no snapshot churn, no
+	// view rebuild — and no BatchLoads tick, so the metrics pin the
+	// short-circuit.
+	if len(buf) == 0 {
+		return nil
+	}
+	w.met.BatchLoads.Inc()
 	err = w.syncWithLocked(func(cs *subcube.CubeSet) error {
 		for _, r := range buf {
 			if err := cs.Insert(r.refs, r.meas); err != nil {
@@ -729,5 +757,6 @@ func (w *Warehouse) Metrics() obs.MetricsSnapshot {
 	w.met.LiveBytes.Set(bytes)
 	w.met.DimBytes.Set(dimBytes)
 	w.met.CubeCount.Set(int64(len(s.cubes.Cubes())))
+	w.met.IngestPending.Set(w.buf.Pending())
 	return w.met.Snapshot()
 }
